@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Section 6.1: PCM capacity gain. Cell-array capacity of SD-PCM (4F^2
+ * data + double-size low-density ECP array) against DIN (8F^2
+ * everywhere) at equal total cell-array silicon, plus the two chip-size
+ * reduction estimates.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "pcm/geometry.hh"
+
+using namespace sdpcm;
+
+int
+main()
+{
+    DensityAnalysis a;
+
+    std::cout << "=== Section 6.1: PCM capacity gain ===\n\n";
+
+    TablePrinter t({"design", "cell size (data)",
+                    "capacity at equal array area"});
+    t.addRow({"SD-PCM", "4F^2",
+              TablePrinter::fmt(a.sdCapacityGB(), 2) + " GB"});
+    t.addRow({"DIN", "8F^2",
+              TablePrinter::fmt(a.dinCapacityGB(), 2) + " GB"});
+    t.print(std::cout);
+
+    std::cout << "\ncell-array capacity improvement: "
+              << TablePrinter::pct(a.capacityImprovement())
+              << "   (paper: 80% = (4 - 2.22) / 2.22)\n\n";
+
+    TablePrinter t2({"comparison", "reduction", "paper"});
+    t2.addRow({"equal-size chips (DIN 16+2 vs SD 8+2)",
+               TablePrinter::pct(a.chipCountReductionEqualChips()),
+               "~38%"});
+    t2.addRow({"big low-density chips (DIN 8+1 vs SD 8 small + 1 big)",
+               TablePrinter::pct(a.chipSizeReductionBigChips()),
+               "~20%"});
+    t2.print(std::cout);
+
+    std::cout << "\n(cell array occupies "
+              << TablePrinter::pct(a.cellArrayAreaFraction)
+              << " of chip area in the prototype [ISSCC'12])\n";
+    return 0;
+}

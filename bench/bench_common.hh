@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared plumbing for the experiment bench binaries: argument handling,
+ * progress reporting and the run-matrix helper.
+ *
+ * Every bench accepts:
+ *   --refs=N   memory references per core (default 10000; the paper uses
+ *              10M — raise this for tighter statistics)
+ *   --seed=N   RNG seed
+ *   --cores=N  cores (default 8, per Table 2)
+ */
+
+#ifndef SDPCM_BENCH_COMMON_HH
+#define SDPCM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/args.hh"
+#include "common/table.hh"
+#include "sim/runner.hh"
+
+namespace sdpcm {
+namespace bench {
+
+inline RunnerConfig
+configFromArgs(int argc, char** argv, std::int64_t default_refs = 10000)
+{
+    ArgParser args(argc, argv);
+    RunnerConfig cfg;
+    cfg.refsPerCore =
+        static_cast<std::uint64_t>(args.getInt("refs", default_refs));
+    cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+    cfg.cores = static_cast<unsigned>(args.getInt("cores", 8));
+    return cfg;
+}
+
+inline void
+banner(const std::string& title, const RunnerConfig& cfg)
+{
+    std::cout << "=== " << title << " ===\n"
+              << cfg.cores << " cores x " << cfg.refsPerCore
+              << " memory references per core (use --refs=N to scale; "
+                 "the paper used 10M)\n\n";
+}
+
+/** Run several schemes over the standard workloads, with progress. */
+inline std::vector<SchemeResults>
+runMatrix(const std::vector<SchemeConfig>& schemes,
+          const RunnerConfig& cfg,
+          const std::vector<WorkloadSpec>& workloads = standardWorkloads())
+{
+    std::vector<SchemeResults> results;
+    for (const auto& scheme : schemes) {
+        std::fprintf(stderr, "running scheme %-28s", scheme.name.c_str());
+        results.push_back(runScheme(scheme, workloads, cfg));
+        std::fprintf(stderr, " done\n");
+    }
+    return results;
+}
+
+/** Workload-name column order: Table 3 order plus the aggregate. */
+inline std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto& w : standardWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+} // namespace bench
+} // namespace sdpcm
+
+#endif // SDPCM_BENCH_COMMON_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 11: system performance under the compared schemes of Section
+ * 5.3, normalised to the basic-VnC baseline (bigger is better), with the
+ * DIN-relative view as a second table.
+ *
+ * Paper reference (averages, normalised to baseline): DIN ~1.45 (i.e.
+ * baseline loses ~31% from DIN), LazyC ~1.21, LazyC+PreRead ~1.30,
+ * LazyC+(2:3) ~1.31, LazyC+PreRead+(2:3) ~1.37 (~5% from DIN), and
+ * (1:2) eliminates VnC entirely.
+ */
+
+#include "bench_common.hh"
+
+using namespace sdpcm;
+using namespace sdpcm::bench;
+
+int
+main(int argc, char** argv)
+{
+    const RunnerConfig cfg = configFromArgs(argc, argv);
+    banner("Figure 11: system performance under different schemes", cfg);
+
+    const std::vector<SchemeConfig> schemes = {
+        SchemeConfig::din8F2(),
+        SchemeConfig::baselineVnc(),
+        SchemeConfig::lazyC(),
+        SchemeConfig::lazyCPreRead(),
+        SchemeConfig::lazyCNm(NmRatio{2, 3}),
+        SchemeConfig::lazyCPreReadNm(NmRatio{2, 3}),
+        SchemeConfig::nmOnly(NmRatio{1, 2}),
+    };
+    const auto results = runMatrix(schemes, cfg);
+    const auto& baseline = results[1];
+
+    for (const bool vs_din : {false, true}) {
+        const auto& ref = vs_din ? results[0] : baseline;
+        std::cout << (vs_din
+                          ? "\n--- normalised to DIN (8F^2 comparator) ---"
+                          : "--- normalised to baseline (basic VnC) ---")
+                  << "\n\n";
+        std::vector<std::string> headers = {"workload"};
+        for (const auto& s : schemes)
+            headers.push_back(s.name);
+        TablePrinter t(headers);
+        for (const auto& name : workloadNames()) {
+            std::vector<std::string> row = {name};
+            for (const auto& r : results) {
+                row.push_back(TablePrinter::fmt(
+                    ref.at(name).meanCpi / r.at(name).meanCpi, 3));
+            }
+            t.addRow(row);
+        }
+        std::vector<std::string> grow = {"gmean"};
+        for (const auto& r : results) {
+            const auto s = speedups(ref, r);
+            grow.push_back(TablePrinter::fmt(s.at("gmean"), 3));
+        }
+        t.addRow(grow);
+        t.print(std::cout);
+    }
+
+    std::cout << "\nShape check: baseline << LazyC < LazyC+PreRead ~ "
+                 "LazyC+(2:3) < all-three <= DIN; (1:2) ~ DIN.\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 13: system performance (normalised to the basic-VnC baseline)
+ * as the ECP entry count grows.
+ *
+ * Paper reference: ECP-6 captures the benefit (~21% over baseline);
+ * larger tables add almost nothing.
+ */
+
+#include "bench_common.hh"
+
+using namespace sdpcm;
+using namespace sdpcm::bench;
+
+int
+main(int argc, char** argv)
+{
+    const RunnerConfig cfg = configFromArgs(argc, argv);
+    banner("Figure 13: ECP entries vs system performance", cfg);
+
+    const std::vector<unsigned> entries = {0, 2, 4, 6, 8, 10};
+    std::vector<SchemeConfig> schemes = {SchemeConfig::baselineVnc()};
+    for (const unsigned n : entries) {
+        SchemeConfig s = SchemeConfig::lazyC(n);
+        s.name = "ECP-" + std::to_string(n);
+        schemes.push_back(s);
+    }
+    const auto results = runMatrix(schemes, cfg);
+    const auto& baseline = results[0];
+
+    std::vector<std::string> headers = {"workload"};
+    for (std::size_t i = 1; i < schemes.size(); ++i)
+        headers.push_back(schemes[i].name);
+    TablePrinter t(headers);
+    for (const auto& name : workloadNames()) {
+        std::vector<std::string> row = {name};
+        for (std::size_t i = 1; i < results.size(); ++i) {
+            row.push_back(TablePrinter::fmt(
+                baseline.at(name).meanCpi / results[i].at(name).meanCpi,
+                3));
+        }
+        t.addRow(row);
+    }
+    std::vector<std::string> grow = {"gmean"};
+    for (std::size_t i = 1; i < results.size(); ++i)
+        grow.push_back(TablePrinter::fmt(
+            speedups(baseline, results[i]).at("gmean"), 3));
+    t.addRow(grow);
+    t.print(std::cout);
+
+    std::cout << "\n(speedup over baseline VnC; paper: +21% at ECP-6, "
+                 "flat beyond)\n";
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Component micro-benchmarks (google-benchmark): encoder throughput,
+ * disturbance-injecting writes, reads, the buddy allocator, the cache
+ * model and the event queue. These guard the simulator's own speed —
+ * the experiment harnesses run millions of these operations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "cpu/cache.hh"
+#include "encoding/din.hh"
+#include "encoding/fnw.hh"
+#include "os/buddy.hh"
+#include "pcm/device.hh"
+#include "sim/event_queue.hh"
+
+using namespace sdpcm;
+
+static void
+BM_DinEncode(benchmark::State& state)
+{
+    DinEncoder din;
+    Rng rng(1);
+    LineData old = LineData::randomFromKey(1);
+    for (auto _ : state) {
+        LineData logical = old;
+        for (int f = 0; f < 60; ++f)
+            logical.flipBit(static_cast<unsigned>(rng.below(kLineBits)));
+        benchmark::DoNotOptimize(din.encode(logical, old));
+    }
+}
+BENCHMARK(BM_DinEncode);
+
+static void
+BM_FnwEncode(benchmark::State& state)
+{
+    FnwEncoder fnw;
+    Rng rng(1);
+    LineData old = LineData::randomFromKey(1);
+    for (auto _ : state) {
+        LineData logical = old;
+        for (int f = 0; f < 60; ++f)
+            logical.flipBit(static_cast<unsigned>(rng.below(kLineBits)));
+        benchmark::DoNotOptimize(fnw.encode(logical, old));
+    }
+}
+BENCHMARK(BM_FnwEncode);
+
+static void
+BM_DeviceWrite(benchmark::State& state)
+{
+    DeviceConfig dc;
+    dc.seed = 3;
+    PcmDevice dev(dc);
+    Rng rng(2);
+    std::uint64_t row = 10;
+    for (auto _ : state) {
+        const LineAddr la{static_cast<unsigned>(rng.below(16)), row,
+                          static_cast<unsigned>(rng.below(64))};
+        auto plan = dev.planWrite(la, LineData::randomFromKey(
+                                          rng.next64()));
+        PcmDevice::RoundOutcome outcome;
+        while (dev.applyNextRound(plan, outcome)) {
+        }
+        dev.finishWrite(plan);
+        row = 10 + (row + 1) % 1000;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeviceWrite);
+
+static void
+BM_DeviceRead(benchmark::State& state)
+{
+    DeviceConfig dc;
+    dc.seed = 3;
+    PcmDevice dev(dc);
+    Rng rng(4);
+    for (auto _ : state) {
+        const LineAddr la{static_cast<unsigned>(rng.below(16)),
+                          rng.below(512),
+                          static_cast<unsigned>(rng.below(64))};
+        benchmark::DoNotOptimize(dev.readLine(la));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeviceRead);
+
+static void
+BM_BuddyAllocFree(benchmark::State& state)
+{
+    DimmGeometry g;
+    g.rowsPerBank = 16384;
+    PageAllocatorSystem sys(g);
+    const NmRatio ratio{2, 3};
+    std::vector<FrameBlock> blocks;
+    blocks.reserve(256);
+    for (auto _ : state) {
+        for (int i = 0; i < 256; ++i)
+            blocks.push_back(*sys.allocate(ratio, 0));
+        for (const auto& b : blocks)
+            sys.free(ratio, b);
+        blocks.clear();
+    }
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_BuddyAllocFree);
+
+static void
+BM_CacheHierarchy(benchmark::State& state)
+{
+    auto h = CacheHierarchy::makeTable2();
+    Rng rng(5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            h.access(rng.below(64ULL << 20) & ~63ULL, rng.chance(0.3)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHierarchy);
+
+static void
+BM_EventQueue(benchmark::State& state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        std::uint64_t fired = 0;
+        for (int i = 0; i < 1000; ++i) {
+            q.schedule(static_cast<Tick>(i * 7 % 997),
+                       [&fired] { fired += 1; });
+        }
+        q.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+BENCHMARK_MAIN();

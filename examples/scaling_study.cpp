@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Technology-scaling study on the thermal disturbance model.
+ *
+ * Sweeps the feature size at several cell layouts and reports where
+ * write disturbance emerges and how fast it grows — the Section 2.2
+ * story ("WD was first reported at 54nm and becomes a non-negligible
+ * reliability issue at 20nm") plus the spacing trade-off of Figure 1.
+ *
+ * Usage: scaling_study
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "thermal/wd_model.hh"
+
+using namespace sdpcm;
+
+int
+main()
+{
+    WdModel model;
+
+    std::cout << "=== PCM write-disturbance scaling study ===\n\n";
+    std::cout << "--- bit-line error rate vs feature size and bit-line "
+                 "pitch ---\n\n";
+
+    TablePrinter t({"node (nm)", "2F pitch (4F^2)", "3F pitch",
+                    "4F pitch (8F^2)"});
+    for (const double f : {54.0, 45.0, 36.0, 28.0, 24.0, 22.0, 20.0,
+                           18.0, 16.0, 14.0, 12.0}) {
+        auto rate = [&](double pitch_f) {
+            const CellLayout layout{2.0, pitch_f};
+            return model.bitLineErrorRateAt(layout, f);
+        };
+        t.addRow({TablePrinter::fmt(f, 0), TablePrinter::pct(rate(2.0)),
+                  TablePrinter::pct(rate(3.0)),
+                  TablePrinter::pct(rate(4.0))});
+    }
+    t.print(std::cout);
+
+    std::cout << "\n--- minimum WD-free pitch per node ---\n\n";
+    TablePrinter t2({"node (nm)", "min WD-free BL pitch (F)",
+                     "min WD-free WL pitch (F)", "min WD-free cell"});
+    for (const double f : {28.0, 24.0, 20.0, 16.0, 14.0, 12.0}) {
+        auto min_pitch = [&](bool bitline) {
+            for (double p = 2.0; p <= 8.0; p += 0.25) {
+                const CellLayout layout{bitline ? 2.0 : p,
+                                        bitline ? p : 2.0};
+                const double r = bitline
+                    ? model.bitLineErrorRateAt(layout, f)
+                    : model.wordLineErrorRateAt(layout, f);
+                if (r == 0.0)
+                    return p;
+            }
+            return 8.0;
+        };
+        const double bl = min_pitch(true);
+        const double wl = min_pitch(false);
+        t2.addRow({TablePrinter::fmt(f, 0), TablePrinter::fmt(bl, 2),
+                   TablePrinter::fmt(wl, 2),
+                   TablePrinter::fmt(bl * wl, 1) + "F^2"});
+    }
+    t2.print(std::cout);
+
+    std::cout << "\nWithout mitigation, a WD-free cell grows well beyond "
+                 "4F^2 as the node shrinks —\nexactly the density loss "
+                 "SD-PCM's verify-and-correct machinery avoids.\n";
+    return 0;
+}

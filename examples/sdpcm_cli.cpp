@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Command-line frontend for one-off simulations: pick a scheme and a
+ * workload, tweak the knobs, and get the full statistics dump. Also
+ * captures and replays trace files so a reference stream can be frozen
+ * and compared across schemes or library versions.
+ *
+ * Examples:
+ *   sdpcm_cli --scheme=lazyc+preread --workload=mcf --refs=20000
+ *   sdpcm_cli --scheme=nm --n=2 --m=3 --workload=lbm
+ *   sdpcm_cli --capture=mcf.trace --workload=mcf --refs=50000
+ *   sdpcm_cli --replay=mcf.trace --scheme=baseline
+ */
+
+#include <iostream>
+
+#include "common/args.hh"
+#include "sim/runner.hh"
+#include "workload/generators.hh"
+#include "workload/trace_file.hh"
+
+using namespace sdpcm;
+
+namespace {
+
+SchemeConfig
+schemeByName(const std::string& name, const ArgParser& args)
+{
+    SchemeConfig scheme;
+    if (name == "din") {
+        scheme = SchemeConfig::din8F2();
+    } else if (name == "baseline" || name == "vnc") {
+        scheme = SchemeConfig::baselineVnc();
+    } else if (name == "lazyc") {
+        scheme = SchemeConfig::lazyC(
+            static_cast<unsigned>(args.getInt("ecp", 6)));
+    } else if (name == "lazyc+preread") {
+        scheme = SchemeConfig::lazyCPreRead();
+    } else if (name == "nm") {
+        scheme = SchemeConfig::nmOnly(
+            NmRatio{static_cast<unsigned>(args.getInt("n", 2)),
+                    static_cast<unsigned>(args.getInt("m", 3))});
+    } else if (name == "all" || name == "lazyc+preread+nm") {
+        scheme = SchemeConfig::lazyCPreReadNm(
+            NmRatio{static_cast<unsigned>(args.getInt("n", 2)),
+                    static_cast<unsigned>(args.getInt("m", 3))});
+    } else {
+        SDPCM_FATAL("unknown scheme '", name,
+                    "' (din, baseline, lazyc, lazyc+preread, nm, all)");
+    }
+    scheme.ecpEntries =
+        static_cast<unsigned>(args.getInt("ecp", scheme.ecpEntries));
+    scheme.writeQueueEntries = static_cast<unsigned>(
+        args.getInt("wq", scheme.writeQueueEntries));
+    scheme.writeCancellation =
+        args.getBool("wc", scheme.writeCancellation);
+    scheme.idleWriteDrain =
+        args.getBool("idle-drain", scheme.idleWriteDrain);
+    return scheme;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    ArgParser args(argc, argv);
+    if (args.has("help")) {
+        std::cout <<
+            "sdpcm_cli — run one SD-PCM simulation\n"
+            "  --scheme=NAME     din|baseline|lazyc|lazyc+preread|nm|all\n"
+            "  --workload=NAME   Table 3 profile (default mcf)\n"
+            "  --refs=N --seed=N --cores=N\n"
+            "  --ecp=N --wq=N --wc=0|1 --n=N --m=M --age=F\n"
+            "  --capture=FILE    write the workload's trace and exit\n"
+            "  --replay=FILE     run from a captured trace file\n";
+        return 0;
+    }
+
+    const std::string workload_name = args.getString("workload", "mcf");
+    const std::uint64_t refs =
+        static_cast<std::uint64_t>(args.getInt("refs", 10000));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+
+    if (args.has("capture")) {
+        const std::string path = args.getString("capture", "out.trace");
+        const WorkloadSpec spec = workloadFromProfile(workload_name);
+        auto stream = spec.makeStream(0, seed);
+        TraceFileWriter writer(path);
+        const auto written = writer.capture(*stream, refs);
+        std::cout << "captured " << written << " records of '"
+                  << workload_name << "' to " << path << "\n";
+        return 0;
+    }
+
+    RunnerConfig cfg;
+    cfg.refsPerCore = refs;
+    cfg.seed = seed;
+    cfg.cores = static_cast<unsigned>(args.getInt("cores", 8));
+    cfg.aging.ageFraction = args.getDouble("age", 0.0);
+
+    const SchemeConfig scheme =
+        schemeByName(args.getString("scheme", "lazyc+preread"), args);
+
+    WorkloadSpec spec;
+    if (args.has("replay")) {
+        const std::string path = args.getString("replay", "");
+        spec.name = "replay:" + path;
+        spec.makeStream = [path](unsigned, std::uint64_t) {
+            return std::make_unique<TraceFileStream>(path);
+        };
+    } else {
+        spec = workloadFromProfile(workload_name);
+    }
+
+    std::cout << "scheme " << scheme.name << ", workload " << spec.name
+              << ", " << cfg.cores << " cores x " << refs << " refs\n\n";
+    const RunMetrics m = runOne(scheme, spec, cfg);
+    m.toSnapshot().dump(std::cout);
+    return 0;
+}

@@ -1,0 +1,139 @@
+#include "analysis/wd_analytic.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sdpcm {
+
+WdAnalytic::WdAnalytic(double resets_per_write, double bit_line_rate,
+                       double victim_zero_fraction, unsigned line_bits,
+                       double victim_rewrite_prob)
+    : resetsPerWrite_(resets_per_write),
+      rate_(bit_line_rate),
+      victimZero_(victim_zero_fraction),
+      lineBits_(line_bits),
+      victimRewriteProb_(victim_rewrite_prob)
+{
+    SDPCM_ASSERT(victim_rewrite_prob >= 0.0 && victim_rewrite_prob <= 1.0,
+                 "rewrite probability out of range");
+    SDPCM_ASSERT(resets_per_write >= 0.0, "negative reset count");
+    SDPCM_ASSERT(bit_line_rate >= 0.0 && bit_line_rate <= 1.0,
+                 "rate out of range");
+    SDPCM_ASSERT(victim_zero_fraction >= 0.0 &&
+                 victim_zero_fraction <= 1.0,
+                 "zero fraction out of range");
+}
+
+double
+WdAnalytic::expectedErrorsPerWrite() const
+{
+    // Each RESET pulse probes the victim cell in its column; the cell is
+    // vulnerable iff it still holds '0'.
+    return resetsPerWrite_ * victimZero_ * rate_;
+}
+
+double
+WdAnalytic::expectedAccumulated(unsigned writes) const
+{
+    // Vulnerable population Z = victimZero * lineBits columns; a given
+    // column is RESET by one write with probability resets/lineBits and
+    // disturbed with probability rate when probed.
+    const double population = victimZero_ * lineBits_;
+    const double per_column =
+        (resetsPerWrite_ / lineBits_) * rate_;
+    return population *
+        (1.0 - std::pow(1.0 - per_column, static_cast<double>(writes)));
+}
+
+double
+WdAnalytic::probNewErrors(unsigned y) const
+{
+    // Binomial(n = round(resets), p = victimZero * rate).
+    const unsigned n =
+        static_cast<unsigned>(resetsPerWrite_ + 0.5);
+    const double p = victimZero_ * rate_;
+    if (y > n)
+        return 0.0;
+    double log_choose = 0.0;
+    for (unsigned i = 0; i < y; ++i) {
+        log_choose += std::log(static_cast<double>(n - i)) -
+                      std::log(static_cast<double>(i + 1));
+    }
+    return std::exp(log_choose + y * std::log(p) +
+                    (n - y) * std::log1p(-p));
+}
+
+std::vector<double>
+WdAnalytic::stationaryParked(unsigned ecp_entries) const
+{
+    // States 0..N parked errors. On a write with Y new errors:
+    //   X' = X + Y        if X + Y <= N   (parked)
+    //   X' = 0            otherwise       (correction clears all)
+    // Iterate the chain to its fixed point.
+    const unsigned n_states = ecp_entries + 1;
+    std::vector<double> dist(n_states, 0.0);
+    dist[0] = 1.0;
+    const unsigned y_max =
+        static_cast<unsigned>(resetsPerWrite_ + 0.5);
+
+    for (int iter = 0; iter < 4096; ++iter) {
+        std::vector<double> next(n_states, 0.0);
+        for (unsigned x_orig = 0; x_orig < n_states; ++x_orig) {
+            if (dist[x_orig] == 0.0)
+                continue;
+            // The victim's own write may have released the parked
+            // errors since the last aggressor write.
+            for (const auto& [x, weight] :
+                 {std::pair<unsigned, double>{0u, victimRewriteProb_},
+                  std::pair<unsigned, double>{x_orig,
+                                              1.0 - victimRewriteProb_}}) {
+                if (weight == 0.0)
+                    continue;
+                const double mass = dist[x_orig] * weight;
+                double overflow = 0.0;
+                for (unsigned y = 0; y <= y_max; ++y) {
+                    const double p = probNewErrors(y);
+                    if (x + y <= ecp_entries)
+                        next[x + y] += mass * p;
+                    else
+                        overflow += mass * p;
+                }
+                next[0] += overflow;
+            }
+        }
+        double delta = 0.0;
+        for (unsigned x = 0; x < n_states; ++x)
+            delta += std::abs(next[x] - dist[x]);
+        dist.swap(next);
+        if (delta < 1e-12)
+            break;
+    }
+    return dist;
+}
+
+double
+WdAnalytic::correctionsPerWrite(unsigned ecp_entries) const
+{
+    const auto dist = stationaryParked(ecp_entries);
+    const unsigned y_max =
+        static_cast<unsigned>(resetsPerWrite_ + 0.5);
+    double correction_prob = 0.0;
+    for (unsigned x_orig = 0; x_orig < dist.size(); ++x_orig) {
+        for (const auto& [x, weight] :
+             {std::pair<unsigned, double>{0u, victimRewriteProb_},
+              std::pair<unsigned, double>{x_orig,
+                                          1.0 - victimRewriteProb_}}) {
+            for (unsigned y = 0; y <= y_max; ++y) {
+                if (x + y > ecp_entries) {
+                    correction_prob +=
+                        dist[x_orig] * weight * probNewErrors(y);
+                }
+            }
+        }
+    }
+    // Both adjacent lines accumulate independently.
+    return 2.0 * correction_prob;
+}
+
+} // namespace sdpcm

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Closed-form companion model of bit-line write disturbance.
+ *
+ * Cross-validates the Monte-Carlo device model and reproduces the
+ * motivation arithmetic of Section 3.2 analytically:
+ *
+ *  - expected disturbance errors per adjacent line per write,
+ *  - error accumulation across repeated writes (the "ten writes leave
+ *    ~20 errors, defeating strong BCH" claim),
+ *  - the stationary correction rate of LazyCorrection as a function of
+ *    the ECP entry count (the analytic Figure 12 curve), via a Markov
+ *    chain over the number of parked errors.
+ */
+
+#ifndef SDPCM_ANALYSIS_WD_ANALYTIC_HH
+#define SDPCM_ANALYSIS_WD_ANALYTIC_HH
+
+#include <vector>
+
+namespace sdpcm {
+
+/** Analytic bit-line disturbance model for one (aggressor, victim) pair. */
+class WdAnalytic
+{
+  public:
+    /**
+     * @param resets_per_write mean RESET pulses per aggressor write
+     * @param bit_line_rate per-pulse disturbance probability (Table 1)
+     * @param victim_zero_fraction fraction of victim cells in '0'
+     * @param line_bits cells per line
+     * @param victim_rewrite_prob probability that the victim line is
+     *        itself written between two aggressor writes, releasing its
+     *        parked errors for free (LazyCorrection's consolidation-
+     *        into-normal-writes effect). 0 models the hot-aggressor /
+     *        cold-victim worst case; real workloads where neighbouring
+     *        pages are similarly hot sit near 0.5.
+     */
+    WdAnalytic(double resets_per_write, double bit_line_rate = 0.115,
+               double victim_zero_fraction = 0.5,
+               unsigned line_bits = 512,
+               double victim_rewrite_prob = 0.0);
+
+    /** Expected new errors in one adjacent line from one write. */
+    double expectedErrorsPerWrite() const;
+
+    /**
+     * Expected cumulative errors in an untouched adjacent line after k
+     * aggressor writes (each write RESETs a fresh data-dependent column
+     * set; disturbed cells stay disturbed). Column-level saturation is
+     * modelled: E[k] = Z * (1 - (1 - q)^k) where Z is the vulnerable
+     * population and q the per-column per-write disturbance probability.
+     */
+    double expectedAccumulated(unsigned writes) const;
+
+    /** P(exactly y new errors in one write) — Binomial over RESETs. */
+    double probNewErrors(unsigned y) const;
+
+    /**
+     * Stationary correction rate per write under LazyCorrection with
+     * `ecp_entries` free entries per line and both adjacent lines
+     * accumulating independently: the Markov state is the parked-error
+     * count; overflow corrects and resets the state.
+     *
+     * @return expected correction operations per write (both adjacents).
+     */
+    double correctionsPerWrite(unsigned ecp_entries) const;
+
+    /** Stationary distribution of parked errors (diagnostics). */
+    std::vector<double> stationaryParked(unsigned ecp_entries) const;
+
+  private:
+    double resetsPerWrite_;
+    double rate_;
+    double victimZero_;
+    unsigned lineBits_;
+    double victimRewriteProb_;
+};
+
+} // namespace sdpcm
+
+#endif // SDPCM_ANALYSIS_WD_ANALYTIC_HH

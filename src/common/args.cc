@@ -1,0 +1,67 @@
+#include "common/args.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace sdpcm {
+
+ArgParser::ArgParser(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            SDPCM_WARN("ignoring positional argument: ", arg);
+            continue;
+        }
+        arg = arg.substr(2);
+        auto eq = arg.find('=');
+        if (eq == std::string::npos)
+            options_[arg] = "1";
+        else
+            options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+}
+
+bool
+ArgParser::has(const std::string& key) const
+{
+    return options_.count(key) != 0;
+}
+
+std::string
+ArgParser::getString(const std::string& key,
+                     const std::string& default_value) const
+{
+    auto it = options_.find(key);
+    return it == options_.end() ? default_value : it->second;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string& key, std::int64_t default_value) const
+{
+    auto it = options_.find(key);
+    if (it == options_.end())
+        return default_value;
+    return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double
+ArgParser::getDouble(const std::string& key, double default_value) const
+{
+    auto it = options_.find(key);
+    if (it == options_.end())
+        return default_value;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+ArgParser::getBool(const std::string& key, bool default_value) const
+{
+    auto it = options_.find(key);
+    if (it == options_.end())
+        return default_value;
+    return it->second != "0" && it->second != "false";
+}
+
+} // namespace sdpcm

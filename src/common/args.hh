@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimal command-line argument parsing for bench and example binaries.
+ *
+ * Supports `--key=value` and `--flag` forms. Bench binaries use this to
+ * accept `--refs=N` (trace length per core) and `--seed=N` without pulling
+ * in a heavyweight flags library.
+ */
+
+#ifndef SDPCM_COMMON_ARGS_HH
+#define SDPCM_COMMON_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace sdpcm {
+
+/** Parsed command-line options. */
+class ArgParser
+{
+  public:
+    ArgParser(int argc, char** argv);
+
+    bool has(const std::string& key) const;
+
+    std::string getString(const std::string& key,
+                          const std::string& default_value) const;
+    std::int64_t getInt(const std::string& key,
+                        std::int64_t default_value) const;
+    double getDouble(const std::string& key, double default_value) const;
+    bool getBool(const std::string& key, bool default_value) const;
+
+  private:
+    std::map<std::string, std::string> options_;
+};
+
+} // namespace sdpcm
+
+#endif // SDPCM_COMMON_ARGS_HH

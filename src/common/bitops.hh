@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Bit-level utilities shared across the PCM device and encoder models.
+ */
+
+#ifndef SDPCM_COMMON_BITOPS_HH
+#define SDPCM_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace sdpcm {
+
+/** Number of set bits in a 64-bit word. */
+inline int
+popcount64(std::uint64_t x)
+{
+    return std::popcount(x);
+}
+
+/** True if x is a power of two (and nonzero). */
+inline bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+inline unsigned
+log2Exact(std::uint64_t x)
+{
+    return static_cast<unsigned>(std::countr_zero(x));
+}
+
+/** Smallest power of two >= x (x > 0). */
+inline std::uint64_t
+ceilPowerOfTwo(std::uint64_t x)
+{
+    return std::bit_ceil(x);
+}
+
+/** Ceiling division for unsigned integers. */
+inline std::uint64_t
+ceilDiv(std::uint64_t num, std::uint64_t den)
+{
+    return (num + den - 1) / den;
+}
+
+/** Extract bit `pos` of x. */
+inline bool
+getBit(std::uint64_t x, unsigned pos)
+{
+    return (x >> pos) & 1ULL;
+}
+
+/** Return x with bit `pos` set to `value`. */
+inline std::uint64_t
+setBit(std::uint64_t x, unsigned pos, bool value)
+{
+    const std::uint64_t mask = 1ULL << pos;
+    return value ? (x | mask) : (x & ~mask);
+}
+
+} // namespace sdpcm
+
+#endif // SDPCM_COMMON_BITOPS_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Status and error reporting helpers, following the gem5 convention:
+ * panic() for internal invariant violations (simulator bugs), fatal() for
+ * unrecoverable user errors (bad configuration), warn()/inform() for
+ * conditions the user should know about.
+ */
+
+#ifndef SDPCM_COMMON_LOGGING_HH
+#define SDPCM_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sdpcm {
+
+namespace detail {
+
+/** Stream-compose a message from a variadic pack. */
+template <typename... Args>
+std::string
+composeMessage(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char* file, int line, const std::string& msg);
+[[noreturn]] void fatalImpl(const char* file, int line, const std::string& msg);
+void warnImpl(const std::string& msg);
+void informImpl(const std::string& msg);
+
+} // namespace detail
+
+/**
+ * Abort with a message; use for conditions that indicate a bug in the
+ * simulator itself, never for user error.
+ */
+#define SDPCM_PANIC(...) \
+    ::sdpcm::detail::panicImpl(__FILE__, __LINE__, \
+        ::sdpcm::detail::composeMessage(__VA_ARGS__))
+
+/**
+ * Exit with a message; use for conditions caused by the user (invalid
+ * configuration, impossible parameter combinations).
+ */
+#define SDPCM_FATAL(...) \
+    ::sdpcm::detail::fatalImpl(__FILE__, __LINE__, \
+        ::sdpcm::detail::composeMessage(__VA_ARGS__))
+
+/** Report a suspicious-but-survivable condition. */
+#define SDPCM_WARN(...) \
+    ::sdpcm::detail::warnImpl(::sdpcm::detail::composeMessage(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define SDPCM_INFORM(...) \
+    ::sdpcm::detail::informImpl(::sdpcm::detail::composeMessage(__VA_ARGS__))
+
+/** Panic if a runtime invariant does not hold. */
+#define SDPCM_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            SDPCM_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+} // namespace sdpcm
+
+#endif // SDPCM_COMMON_LOGGING_HH

@@ -1,0 +1,45 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace sdpcm {
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    if (p >= 1.0)
+        return 0;
+    if (p <= 0.0)
+        return ~0ULL;
+    // Inverse-CDF sampling: floor(ln(u) / ln(1-p)).
+    double u = uniform();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+double
+Rng::gaussian()
+{
+    if (cachedGaussianValid_) {
+        cachedGaussianValid_ = false;
+        return cachedGaussian_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * M_PI * u2;
+    cachedGaussian_ = radius * std::sin(angle);
+    cachedGaussianValid_ = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(gaussian(mu, sigma));
+}
+
+} // namespace sdpcm

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * All stochastic behaviour in the simulator (disturbance draws, synthetic
+ * workload generation, endurance variation, lazily-materialised memory
+ * contents) flows through Rng so that runs are exactly reproducible from a
+ * seed. The generator is xoshiro256** seeded through splitmix64, which is
+ * both fast and statistically strong enough for Monte-Carlo use.
+ */
+
+#ifndef SDPCM_COMMON_RNG_HH
+#define SDPCM_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace sdpcm {
+
+/** splitmix64 step; used for seeding and for stateless address hashing. */
+inline std::uint64_t
+splitmix64(std::uint64_t& state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Stateless 64-bit mix of a value; deterministic content hashing. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    return splitmix64(x);
+}
+
+/** xoshiro256** pseudo-random generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5dca11ab1e5eedULL)
+    {
+        reseed(seed);
+    }
+
+    /** Re-initialise the state from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t sm = seed;
+        for (auto& word : state_)
+            word = splitmix64(sm);
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next64()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free reduction is fine here:
+        // the tiny modulo bias is irrelevant for simulation statistics.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next64()) * bound) >> 64);
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
+
+    /** Geometric draw: number of failures before first success, prob p. */
+    std::uint64_t
+    geometric(double p);
+
+    /** Standard normal draw (Box-Muller). */
+    double gaussian();
+
+    /** Normal draw with given mean and standard deviation. */
+    double
+    gaussian(double mean, double sigma)
+    {
+        return mean + sigma * gaussian();
+    }
+
+    /** Lognormal draw parameterised by the underlying normal. */
+    double lognormal(double mu, double sigma);
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+    bool cachedGaussianValid_ = false;
+    double cachedGaussian_ = 0.0;
+};
+
+} // namespace sdpcm
+
+#endif // SDPCM_COMMON_RNG_HH

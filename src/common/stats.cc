@@ -1,0 +1,56 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace sdpcm {
+
+double
+Histogram::tailFraction(std::uint64_t threshold) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t tail = overflow_;
+    for (std::size_t v = threshold; v < buckets_.size(); ++v)
+        tail += buckets_[v];
+    return static_cast<double>(tail) / static_cast<double>(total_);
+}
+
+double
+Histogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t v = 0; v < buckets_.size(); ++v)
+        sum += static_cast<double>(v) * static_cast<double>(buckets_[v]);
+    sum += static_cast<double>(overflow_) *
+           static_cast<double>(buckets_.size() - 1);
+    return sum / static_cast<double>(total_);
+}
+
+double
+StatSnapshot::get(const std::string& name) const
+{
+    auto it = values_.find(name);
+    SDPCM_ASSERT(it != values_.end(), "unknown stat: ", name);
+    return it->second;
+}
+
+bool
+StatSnapshot::has(const std::string& name) const
+{
+    return values_.count(name) != 0;
+}
+
+void
+StatSnapshot::dump(std::ostream& os, const std::string& prefix) const
+{
+    for (const auto& [name, value] : values_) {
+        os << prefix << std::left << std::setw(40) << name << " "
+           << std::setprecision(8) << value << "\n";
+    }
+}
+
+} // namespace sdpcm

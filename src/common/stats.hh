@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Lightweight statistics primitives.
+ *
+ * Components keep plain counters in their own Stats structs; the helpers
+ * here provide accumulation (mean/max/histogram) and uniform formatting
+ * when dumping. A global registry is deliberately avoided: experiments run
+ * many System instances in one process and stats must stay per-instance.
+ */
+
+#ifndef SDPCM_COMMON_STATS_HH
+#define SDPCM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sdpcm {
+
+/** Online accumulator for count / sum / min / max / mean. */
+class RunningStat
+{
+  public:
+    void
+    record(double value)
+    {
+        count_ += 1;
+        sum_ += value;
+        if (value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+    }
+
+    /** Record `value` occurring `weight` times. */
+    void
+    recordWeighted(double value, std::uint64_t weight)
+    {
+        if (weight == 0)
+            return;
+        count_ += weight;
+        sum_ += value * static_cast<double>(weight);
+        if (value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        *this = RunningStat();
+    }
+
+    void
+    merge(const RunningStat& other)
+    {
+        count_ += other.count_;
+        sum_ += other.sum_;
+        if (other.count_) {
+            if (other.min_ < min_)
+                min_ = other.min_;
+            if (other.max_ > max_)
+                max_ = other.max_;
+        }
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-bucket histogram over integer values [0, maxValue]. */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t max_value = 64)
+        : buckets_(max_value + 1, 0)
+    {}
+
+    void
+    record(std::uint64_t value)
+    {
+        total_ += 1;
+        if (value >= buckets_.size())
+            overflow_ += 1;
+        else
+            buckets_[value] += 1;
+    }
+
+    std::uint64_t total() const { return total_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t bucket(std::size_t v) const { return buckets_.at(v); }
+    std::size_t numBuckets() const { return buckets_.size(); }
+
+    /** Fraction of samples with value >= threshold. */
+    double tailFraction(std::uint64_t threshold) const;
+
+    /** Mean over recorded samples (overflow samples counted at max). */
+    double mean() const;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t total_ = 0;
+    std::uint64_t overflow_ = 0;
+};
+
+/** Ordered key/value stat snapshot used for dumping and test assertions. */
+class StatSnapshot
+{
+  public:
+    void
+    set(const std::string& name, double value)
+    {
+        values_[name] = value;
+    }
+
+    double get(const std::string& name) const;
+    bool has(const std::string& name) const;
+
+    void dump(std::ostream& os, const std::string& prefix = "") const;
+
+    const std::map<std::string, double>& values() const { return values_; }
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+} // namespace sdpcm
+
+#endif // SDPCM_COMMON_STATS_HH

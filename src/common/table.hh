@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Console table formatting for bench harness output.
+ *
+ * Bench binaries print the same rows/series the paper's tables and figures
+ * report; TablePrinter keeps that output aligned and diff-friendly.
+ */
+
+#ifndef SDPCM_COMMON_TABLE_HH
+#define SDPCM_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sdpcm {
+
+/** Aligned text table with a header row. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a pre-formatted row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given precision. */
+    static std::string fmt(double value, int precision = 3);
+
+    /** Format a double as a percentage ("12.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    void print(std::ostream& os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace sdpcm
+
+#endif // SDPCM_COMMON_TABLE_HH

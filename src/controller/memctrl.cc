@@ -1,0 +1,862 @@
+#include "controller/memctrl.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace sdpcm {
+
+namespace {
+
+/** Positions where two logical line values differ. */
+std::vector<unsigned>
+diffPositions(const LineData& a, const LineData& b)
+{
+    std::vector<unsigned> out;
+    forEachSetBit(a.diff(b), [&](unsigned pos) { out.push_back(pos); });
+    return out;
+}
+
+} // namespace
+
+MemoryController::MemoryController(EventQueue& events, PcmDevice& device,
+                                   const SchemeConfig& scheme,
+                                   std::uint64_t seed)
+    : events_(events),
+      device_(device),
+      scheme_(scheme),
+      rng_(seed ^ 0xc0117011e5ULL)
+{
+    SDPCM_ASSERT(scheme_.writeQueueEntries >= 1, "write queue too small");
+    // A drain burst never exceeds half the queue: small queues must not
+    // block reads for a whole-queue flush.
+    scheme_.drainBurstWrites = std::min(
+        scheme_.drainBurstWrites,
+        std::max(1u, scheme_.writeQueueEntries / 2));
+    if (!scheme_.superDense) {
+        SDPCM_ASSERT(!scheme_.vnc,
+                     "the 8F^2 comparator needs no verify-n-correct");
+    }
+    banks_.resize(device_.config().geometry.banks());
+}
+
+const NmPolicy&
+MemoryController::policyFor(const NmRatio& tag) const
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(tag.n) << 32) | tag.m;
+    auto it = policies_.find(key);
+    if (it == policies_.end()) {
+        it = policies_
+                 .emplace(key,
+                          NmPolicy(tag,
+                                   device_.config().geometry
+                                       .stripsPer64MB()))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+MemoryController::computeAdjacency(QueuedWrite& w)
+{
+    w.needUpper = false;
+    w.needLower = false;
+    if (!scheme_.vnc)
+        return;
+    const AddressMap& map = device_.addressMap();
+    const NmPolicy& pol = policyFor(w.tag);
+    const std::uint64_t strip = map.stripOfRow(w.la.row);
+
+    if (auto upper = map.upperNeighbor(w.la)) {
+        if (pol.verifyUpper(strip)) {
+            w.needUpper = true;
+            w.upperAddr = *upper;
+        } else {
+            stats_.adjacentsSkippedNm += 1;
+        }
+    }
+    if (auto lower = map.lowerNeighbor(w.la)) {
+        if (pol.verifyLower(strip)) {
+            w.needLower = true;
+            w.lowerAddr = *lower;
+        } else {
+            stats_.adjacentsSkippedNm += 1;
+        }
+    }
+}
+
+LineData
+MemoryController::coherentValue(unsigned bank, const LineAddr& la)
+{
+    const Bank& b = banks_[bank];
+    for (auto it = b.writeQueue.rbegin(); it != b.writeQueue.rend();
+         ++it) {
+        if (it->la == la)
+            return it->payload;
+    }
+    if (b.active && b.active->w.la == la)
+        return b.active->w.payload;
+    return device_.peekLine(la);
+}
+
+LineData
+MemoryController::mutatePayload(const LineData& base, double density)
+{
+    LineData out = base;
+    if (density <= 0.0)
+        return out;
+    const unsigned flips = static_cast<unsigned>(
+        density * kLineBits + 0.5);
+    for (unsigned i = 0; i < flips; ++i)
+        out.flipBit(static_cast<unsigned>(rng_.below(kLineBits)));
+    return out;
+}
+
+void
+MemoryController::submitRead(PhysAddr addr, unsigned core_id,
+                             std::function<void(const LineData&)>
+                                 on_complete)
+{
+    const LineAddr la = device_.addressMap().decode(addr);
+    Bank& b = banks_[la.bank];
+
+    // Forward from pending writes (the queue holds the newest data).
+    for (auto it = b.writeQueue.rbegin(); it != b.writeQueue.rend();
+         ++it) {
+        if (it->la == la) {
+            stats_.readsForwarded += 1;
+            const LineData data = it->payload;
+            events_.scheduleAfter(0, [cb = std::move(on_complete),
+                                      data] { cb(data); });
+            return;
+        }
+    }
+    if (b.active && b.active->w.la == la) {
+        stats_.readsForwarded += 1;
+        const LineData data = b.active->w.payload;
+        events_.scheduleAfter(0, [cb = std::move(on_complete),
+                                  data] { cb(data); });
+        return;
+    }
+
+    b.readQueue.push_back(
+        PendingRead{la, core_id, events_.now(), std::move(on_complete)});
+
+    // Write cancellation: abort a cancellable in-flight write operation
+    // so the read can be served immediately.
+    if (scheme_.writeCancellation)
+        maybeCancelForRead(la.bank);
+    kick(la.bank);
+}
+
+void
+MemoryController::maybeCancelForRead(unsigned bank)
+{
+    Bank& b = banks_[bank];
+    if (!b.busy || !b.opCancellable || !b.active)
+        return;
+    if (b.active->w.cancels >= scheme_.maxCancelsPerWrite)
+        return;
+
+    // Refund the unelapsed cycles of the aborted operation.
+    const Tick elapsed = events_.now() - b.opStart;
+    refundCycles(b.opKind, b.opLatency - elapsed);
+
+    b.opGen += 1; // the scheduled completion becomes a no-op
+    b.busy = false;
+    b.opCancellable = false;
+    // The cancelling read gets served before the drain resumes.
+    b.wcReadGrace += 1;
+    cancelActive(bank);
+}
+
+bool
+MemoryController::canAcceptWrite(PhysAddr addr) const
+{
+    const LineAddr la = device_.addressMap().decode(addr);
+    return banks_[la.bank].writeQueue.size() < scheme_.writeQueueEntries;
+}
+
+bool
+MemoryController::submitWrite(PhysAddr addr, const NmRatio& tag,
+                              unsigned core_id, double flip_density)
+{
+    const LineAddr la = device_.addressMap().decode(addr);
+    const LineData base = coherentValue(la.bank, la);
+    return submitWriteData(addr, tag, core_id,
+                           mutatePayload(base, flip_density));
+}
+
+bool
+MemoryController::submitWriteData(PhysAddr addr, const NmRatio& tag,
+                                  unsigned core_id,
+                                  const LineData& payload)
+{
+    const LineAddr la = device_.addressMap().decode(addr);
+    Bank& b = banks_[la.bank];
+
+    // Coalesce into an already-queued write to the same line.
+    for (auto& entry : b.writeQueue) {
+        if (entry.la == la) {
+            entry.payload = payload;
+            stats_.writesCoalesced += 1;
+            return true;
+        }
+    }
+
+    if (b.writeQueue.size() >= scheme_.writeQueueEntries)
+        return false;
+
+    QueuedWrite w;
+    w.la = la;
+    w.tag = tag;
+    w.coreId = core_id;
+    w.enqueueTick = events_.now();
+    w.payload = payload;
+    computeAdjacency(w);
+    b.writeQueue.push_back(std::move(w));
+    stats_.writesAccepted += 1;
+
+    if (b.writeQueue.size() >= scheme_.writeQueueEntries &&
+        !b.draining) {
+        b.draining = true;
+        b.drainRemaining = scheme_.drainBurstWrites;
+        stats_.writeDrains += 1;
+    }
+    kick(la.bank);
+    return true;
+}
+
+void
+MemoryController::onWriteSpace(PhysAddr addr, std::function<void()> cb)
+{
+    const LineAddr la = device_.addressMap().decode(addr);
+    banks_[la.bank].spaceWaiters.push_back(std::move(cb));
+}
+
+void
+MemoryController::notifySpace(unsigned bank)
+{
+    auto waiters = std::move(banks_[bank].spaceWaiters);
+    banks_[bank].spaceWaiters.clear();
+    // Defer through the event queue: waiters re-enter submitWrite/kick,
+    // which must not run in the middle of a service-state transition.
+    for (auto& cb : waiters)
+        events_.scheduleAfter(0, std::move(cb));
+}
+
+bool
+MemoryController::quiescent() const
+{
+    for (const auto& b : banks_) {
+        if (b.busy || b.active || !b.readQueue.empty() ||
+            !b.writeQueue.empty()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::uint64_t
+MemoryController::pendingWrites() const
+{
+    std::uint64_t n = 0;
+    for (const auto& b : banks_)
+        n += b.writeQueue.size() + (b.active ? 1 : 0);
+    return n;
+}
+
+void
+MemoryController::chargeCycles(OpKind kind, Tick latency)
+{
+    switch (kind) {
+      case OpKind::Read:
+        stats_.cyclesRead += latency;
+        break;
+      case OpKind::PreRead:
+        stats_.cyclesPreRead += latency;
+        break;
+      case OpKind::WriteRound:
+        stats_.cyclesWrite += latency;
+        break;
+      case OpKind::VerifyRead:
+        stats_.cyclesVerify += latency;
+        break;
+      case OpKind::CorrectionRound:
+      case OpKind::CascadeRead:
+        stats_.cyclesCorrection += latency;
+        break;
+      case OpKind::EcpUpdate:
+        stats_.cyclesEcp += latency;
+        break;
+    }
+}
+
+void
+MemoryController::refundCycles(OpKind kind, Tick latency)
+{
+    switch (kind) {
+      case OpKind::Read:
+        stats_.cyclesRead -= latency;
+        break;
+      case OpKind::PreRead:
+        stats_.cyclesPreRead -= latency;
+        break;
+      case OpKind::WriteRound:
+        stats_.cyclesWrite -= latency;
+        break;
+      case OpKind::VerifyRead:
+        stats_.cyclesVerify -= latency;
+        break;
+      case OpKind::CorrectionRound:
+      case OpKind::CascadeRead:
+        stats_.cyclesCorrection -= latency;
+        break;
+      case OpKind::EcpUpdate:
+        stats_.cyclesEcp -= latency;
+        break;
+    }
+}
+
+void
+MemoryController::occupy(unsigned bank, Tick latency, OpKind kind,
+                         std::function<void()> done, bool cancellable)
+{
+    Bank& b = banks_[bank];
+    SDPCM_ASSERT(!b.busy, "bank ", bank, " double-occupied");
+    b.busy = true;
+    b.opGen += 1;
+    b.opCancellable = cancellable;
+    b.opKind = kind;
+    b.opStart = events_.now();
+    b.opLatency = latency;
+    chargeCycles(kind, latency);
+
+    const std::uint64_t gen = b.opGen;
+    events_.scheduleAfter(latency, [this, bank, gen,
+                                    done = std::move(done)] {
+        Bank& bb = banks_[bank];
+        if (bb.opGen != gen)
+            return; // operation was cancelled
+        bb.busy = false;
+        bb.opCancellable = false;
+        done();
+        kick(bank);
+    });
+}
+
+void
+MemoryController::kick(unsigned bank)
+{
+    Bank& b = banks_[bank];
+    if (b.busy)
+        return;
+
+    // Close out an exhausted drain burst before deciding anything else.
+    if (b.draining && !b.active &&
+        (b.drainRemaining == 0 || b.writeQueue.empty())) {
+        b.draining = false;
+    }
+    // A (still) full queue immediately triggers the next burst.
+    if (!b.draining &&
+        b.writeQueue.size() >= scheme_.writeQueueEntries) {
+        b.draining = true;
+        b.drainRemaining = scheme_.drainBurstWrites;
+        stats_.writeDrains += 1;
+    }
+
+    // Write cancellation lets the cancelling read cut in before the
+    // write burst resumes (one read per cancellation).
+    if (b.wcReadGrace > 0 && !b.readQueue.empty()) {
+        b.wcReadGrace -= 1;
+        serviceRead(bank);
+        return;
+    }
+    b.wcReadGrace = 0;
+
+    // Bursty drain: writes (and their VnC) run back to back, blocking
+    // reads, for a bounded burst (Table 2 policy with a latency cap).
+    if (b.draining) {
+        if (b.active) {
+            advanceWrite(bank);
+            return;
+        }
+        SDPCM_ASSERT(b.drainRemaining > 0 && !b.writeQueue.empty(),
+                     "drain state out of sync");
+        b.drainRemaining -= 1;
+        startWriteService(bank);
+        return;
+    }
+
+    // Reads preempt a suspended write service at operation boundaries.
+    if (!b.readQueue.empty()) {
+        serviceRead(bank);
+        return;
+    }
+
+    if (b.active) {
+        advanceWrite(bank);
+        return;
+    }
+
+    if (scheme_.idleWriteDrain && !b.writeQueue.empty()) {
+        startWriteService(bank);
+        return;
+    }
+
+    if (scheme_.preRead && !b.writeQueue.empty())
+        tryIssuePreRead(bank);
+}
+
+void
+MemoryController::serviceRead(unsigned bank)
+{
+    Bank& b = banks_[bank];
+    PendingRead req = std::move(b.readQueue.front());
+    b.readQueue.pop_front();
+    occupy(bank, device_.config().timing.readCycles, OpKind::Read,
+           [this, req = std::move(req)] {
+               const LineData data = device_.readLine(req.la);
+               stats_.readsServiced += 1;
+               stats_.readLatency.record(
+                   static_cast<double>(events_.now() - req.enqueueTick));
+               req.onComplete(data);
+           });
+}
+
+void
+MemoryController::tryIssuePreRead(unsigned bank)
+{
+    Bank& b = banks_[bank];
+    for (std::size_t i = 0; i < b.writeQueue.size(); ++i) {
+        QueuedWrite& w = b.writeQueue[i];
+
+        auto try_side = [&](bool need, bool& pr_bit, const LineAddr& adj,
+                            LineData& buffer, bool is_upper) -> bool {
+            if (!need || pr_bit)
+                return false;
+            // Forward from an earlier pending write to the adjacent line
+            // (it will have committed by the time this write services).
+            for (std::size_t j = 0; j < i; ++j) {
+                if (b.writeQueue[j].la == adj) {
+                    buffer = b.writeQueue[j].payload;
+                    pr_bit = true;
+                    stats_.preReadsForwarded += 1;
+                    return false; // no bank op needed
+                }
+            }
+            if (b.active && b.active->w.la == adj) {
+                buffer = b.active->w.payload;
+                pr_bit = true;
+                stats_.preReadsForwarded += 1;
+                return false;
+            }
+            // Issue the pre-read against the array.
+            const LineAddr target = adj;
+            const Tick id = w.enqueueTick;
+            const LineAddr wla = w.la;
+            occupy(bank, device_.config().timing.readCycles,
+                   OpKind::PreRead,
+                   [this, bank, target, id, wla, is_upper] {
+                       const LineData data = device_.readLine(target);
+                       stats_.preReadsIssued += 1;
+                       // Re-locate the entry; it may have moved.
+                       for (auto& entry : banks_[bank].writeQueue) {
+                           if (entry.la == wla &&
+                               entry.enqueueTick == id) {
+                               if (is_upper) {
+                                   entry.upperData = data;
+                                   entry.prUpper = true;
+                               } else {
+                                   entry.lowerData = data;
+                                   entry.prLower = true;
+                               }
+                               return;
+                           }
+                       }
+                       // Entry already in service or gone; drop the data.
+                   });
+            return true;
+        };
+
+        if (try_side(w.needUpper, w.prUpper, w.upperAddr, w.upperData,
+                     true)) {
+            return;
+        }
+        if (try_side(w.needLower, w.prLower, w.lowerAddr, w.lowerData,
+                     false)) {
+            return;
+        }
+    }
+}
+
+void
+MemoryController::startWriteService(unsigned bank)
+{
+    Bank& b = banks_[bank];
+    SDPCM_ASSERT(!b.active, "write service while another is active");
+    SDPCM_ASSERT(!b.writeQueue.empty(), "write service on empty queue");
+
+    ActiveWrite aw;
+    aw.w = std::move(b.writeQueue.front());
+    b.writeQueue.pop_front();
+    aw.serviceStart = events_.now();
+    b.active.emplace(std::move(aw));
+    notifySpace(bank);
+    advanceWrite(bank);
+}
+
+void
+MemoryController::cancelActive(unsigned bank)
+{
+    Bank& b = banks_[bank];
+    SDPCM_ASSERT(b.active, "cancel without active write");
+    QueuedWrite w = std::move(b.active->w);
+    b.active.reset();
+    w.cancels += 1;
+    stats_.writeCancellations += 1;
+    // Rounds already applied keep their effects (and their disturbance);
+    // re-planning on the next service programs the remainder, and the
+    // kept pre-read buffers still hold the pre-disturbance values, so
+    // verification catches everything the aborted attempts disturbed.
+    b.writeQueue.push_front(std::move(w));
+}
+
+void
+MemoryController::completeWrite(unsigned bank)
+{
+    Bank& b = banks_[bank];
+    SDPCM_ASSERT(b.active, "complete without active write");
+    stats_.writesCompleted += 1;
+    stats_.writeServiceLatency.record(
+        static_cast<double>(events_.now() - b.active->serviceStart));
+    stats_.cascadeDepth.record(
+        static_cast<double>(b.active->maxDepthSeen));
+    b.active.reset();
+}
+
+void
+MemoryController::refreshBuffersAfterWrite(unsigned bank,
+                                           const LineAddr& la,
+                                           const LineData& data)
+{
+    for (auto& entry : banks_[bank].writeQueue) {
+        if (entry.needUpper && entry.prUpper && entry.upperAddr == la)
+            entry.upperData = data;
+        if (entry.needLower && entry.prLower && entry.lowerAddr == la)
+            entry.lowerData = data;
+    }
+}
+
+void
+MemoryController::handleVerifyErrors(unsigned bank, const LineAddr& addr,
+                                     std::vector<unsigned> errors,
+                                     unsigned depth)
+{
+    if (errors.empty())
+        return;
+    Bank& b = banks_[bank];
+    SDPCM_ASSERT(b.active, "verify errors without active write");
+    ActiveWrite& a = *b.active;
+
+    std::vector<unsigned> cells;
+    if (scheme_.lazyCorrection) {
+        if (device_.recordWdInEcp(addr, errors)) {
+            // All parked: correction demand consolidated into ECP.
+            stats_.ecpUpdates += 1;
+            a.pendingEcpCycles += scheme_.ecpUpdateCycles;
+            return;
+        }
+        // Overflow: correct everything parked plus the new errors.
+        std::set<unsigned> merged;
+        for (const unsigned c : device_.ecpWdCells(addr))
+            merged.insert(c);
+        for (const unsigned c : errors)
+            merged.insert(c);
+        cells.assign(merged.begin(), merged.end());
+    } else {
+        cells = std::move(errors);
+    }
+
+    if (depth > kMaxCascadeDepth) {
+        stats_.cascadeDropped += 1;
+        SDPCM_WARN("cascade depth cap hit at bank ", bank,
+                   " row ", addr.row);
+        return;
+    }
+    a.maxDepthSeen = std::max(a.maxDepthSeen, depth);
+    a.tasks.push_back(CorrectionTask{addr, std::move(cells), depth});
+}
+
+void
+MemoryController::advanceWrite(unsigned bank)
+{
+    Bank& b = banks_[bank];
+    SDPCM_ASSERT(b.active, "advance without active write");
+    ActiveWrite& a = *b.active;
+
+    while (true) {
+        switch (a.stage) {
+          case ActiveWrite::Stage::PreUpper: {
+            if (!a.w.needUpper) {
+                a.stage = ActiveWrite::Stage::PreLower;
+                break;
+            }
+            if (a.w.prUpper) {
+                stats_.preReadsUseful += 1;
+                a.stage = ActiveWrite::Stage::PreLower;
+                break;
+            }
+            const Tick lat = scheme_.chargeVerifyOps
+                ? device_.config().timing.readCycles : 0;
+            occupy(bank, lat, OpKind::VerifyRead, [this, bank] {
+                ActiveWrite& aw = *banks_[bank].active;
+                aw.w.upperData = device_.readLine(aw.w.upperAddr);
+                aw.w.prUpper = true;
+                stats_.verifyReads += 1;
+                aw.stage = ActiveWrite::Stage::PreLower;
+            }, /*cancellable=*/true);
+            return;
+          }
+          case ActiveWrite::Stage::PreLower: {
+            if (!a.w.needLower) {
+                a.stage = ActiveWrite::Stage::Rounds;
+                break;
+            }
+            if (a.w.prLower) {
+                stats_.preReadsUseful += 1;
+                a.stage = ActiveWrite::Stage::Rounds;
+                break;
+            }
+            const Tick lat = scheme_.chargeVerifyOps
+                ? device_.config().timing.readCycles : 0;
+            occupy(bank, lat, OpKind::VerifyRead, [this, bank] {
+                ActiveWrite& aw = *banks_[bank].active;
+                aw.w.lowerData = device_.readLine(aw.w.lowerAddr);
+                aw.w.prLower = true;
+                stats_.verifyReads += 1;
+                aw.stage = ActiveWrite::Stage::Rounds;
+            }, /*cancellable=*/true);
+            return;
+          }
+          case ActiveWrite::Stage::Rounds: {
+            if (!a.planned) {
+                a.plan = device_.planWrite(a.w.la, a.w.payload);
+                a.planned = true;
+            }
+            const auto peek = device_.peekNextRound(a.plan);
+            if (peek.valid) {
+                occupy(bank, peek.latency, OpKind::WriteRound,
+                       [this, bank] {
+                           ActiveWrite& aw = *banks_[bank].active;
+                           PcmDevice::RoundOutcome outcome;
+                           const bool applied =
+                               device_.applyNextRound(aw.plan, outcome);
+                           SDPCM_ASSERT(applied, "round vanished");
+                       }, /*cancellable=*/true);
+                return;
+            }
+            device_.finishWrite(a.plan);
+            refreshBuffersAfterWrite(bank, a.w.la, a.w.payload);
+            a.stage = ActiveWrite::Stage::VerUpper;
+            break;
+          }
+          case ActiveWrite::Stage::VerUpper: {
+            if (!a.w.needUpper) {
+                a.stage = ActiveWrite::Stage::VerLower;
+                break;
+            }
+            const Tick lat = scheme_.chargeVerifyOps
+                ? device_.config().timing.readCycles : 0;
+            occupy(bank, lat, OpKind::VerifyRead, [this, bank] {
+                ActiveWrite& aw = *banks_[bank].active;
+                const LineData post = device_.readLine(aw.w.upperAddr);
+                stats_.verifyReads += 1;
+                aw.stage = ActiveWrite::Stage::VerLower;
+                handleVerifyErrors(bank, aw.w.upperAddr,
+                                   diffPositions(post, aw.w.upperData),
+                                   1);
+            });
+            return;
+          }
+          case ActiveWrite::Stage::VerLower: {
+            if (!a.w.needLower) {
+                a.stage = ActiveWrite::Stage::Corrections;
+                break;
+            }
+            const Tick lat = scheme_.chargeVerifyOps
+                ? device_.config().timing.readCycles : 0;
+            occupy(bank, lat, OpKind::VerifyRead, [this, bank] {
+                ActiveWrite& aw = *banks_[bank].active;
+                const LineData post = device_.readLine(aw.w.lowerAddr);
+                stats_.verifyReads += 1;
+                aw.stage = ActiveWrite::Stage::Corrections;
+                handleVerifyErrors(bank, aw.w.lowerAddr,
+                                   diffPositions(post, aw.w.lowerData),
+                                   1);
+            });
+            return;
+          }
+          case ActiveWrite::Stage::Corrections: {
+            if (a.pendingEcpCycles > 0) {
+                const Tick lat = a.pendingEcpCycles;
+                a.pendingEcpCycles = 0;
+                occupy(bank, lat, OpKind::EcpUpdate, [] {});
+                return;
+            }
+            if (a.corr) {
+                advanceCorrection(bank);
+                return;
+            }
+            if (a.tasks.empty()) {
+                completeWrite(bank);
+                kick(bank);
+                return;
+            }
+            ActiveCorrection c;
+            c.task = std::move(a.tasks.front());
+            a.tasks.pop_front();
+
+            const AddressMap& map = device_.addressMap();
+            const NmPolicy& pol = policyFor(a.w.tag);
+            const std::uint64_t strip = map.stripOfRow(c.task.addr.row);
+            if (auto up = map.upperNeighbor(c.task.addr)) {
+                if (pol.verifyUpper(strip)) {
+                    c.needUp = true;
+                    c.up = *up;
+                    if (c.up == a.w.la) {
+                        // The just-written line: its value is known.
+                        c.upData = a.w.payload;
+                        c.haveUpData = true;
+                    }
+                }
+            }
+            if (auto low = map.lowerNeighbor(c.task.addr)) {
+                if (pol.verifyLower(strip)) {
+                    c.needLow = true;
+                    c.low = *low;
+                    if (c.low == a.w.la) {
+                        c.lowData = a.w.payload;
+                        c.haveLowData = true;
+                    }
+                }
+            }
+            a.corr.emplace(std::move(c));
+            advanceCorrection(bank);
+            return;
+          }
+        }
+    }
+}
+
+void
+MemoryController::advanceCorrection(unsigned bank)
+{
+    Bank& b = banks_[bank];
+    SDPCM_ASSERT(b.active && b.active->corr,
+                 "advanceCorrection without task");
+    ActiveWrite& a = *b.active;
+    ActiveCorrection& c = *a.corr;
+    const Tick read_lat = scheme_.chargeCorrectionOps
+        ? device_.config().timing.readCycles : 0;
+
+    while (true) {
+        switch (c.stage) {
+          case ActiveCorrection::Stage::PreUp: {
+            if (!c.needUp || c.haveUpData) {
+                c.stage = ActiveCorrection::Stage::PreLow;
+                break;
+            }
+            occupy(bank, read_lat, OpKind::CascadeRead, [this, bank] {
+                ActiveCorrection& cc = *banks_[bank].active->corr;
+                cc.upData = device_.readLine(cc.up);
+                cc.haveUpData = true;
+                cc.stage = ActiveCorrection::Stage::PreLow;
+            });
+            return;
+          }
+          case ActiveCorrection::Stage::PreLow: {
+            if (!c.needLow || c.haveLowData) {
+                c.stage = ActiveCorrection::Stage::Rounds;
+                break;
+            }
+            occupy(bank, read_lat, OpKind::CascadeRead, [this, bank] {
+                ActiveCorrection& cc = *banks_[bank].active->corr;
+                cc.lowData = device_.readLine(cc.low);
+                cc.haveLowData = true;
+                cc.stage = ActiveCorrection::Stage::Rounds;
+            });
+            return;
+          }
+          case ActiveCorrection::Stage::Rounds: {
+            if (!c.planned) {
+                c.plan = device_.planCorrection(c.task.addr,
+                                                c.task.cells);
+                c.planned = true;
+                stats_.correctionWrites += 1;
+            }
+            const auto peek = device_.peekNextRound(c.plan);
+            if (peek.valid) {
+                const Tick lat = scheme_.chargeCorrectionOps
+                    ? peek.latency : 0;
+                occupy(bank, lat, OpKind::CorrectionRound,
+                       [this, bank] {
+                           ActiveCorrection& cc =
+                               *banks_[bank].active->corr;
+                           PcmDevice::RoundOutcome outcome;
+                           const bool applied =
+                               device_.applyNextRound(cc.plan, outcome);
+                           SDPCM_ASSERT(applied, "round vanished");
+                       });
+                return;
+            }
+            device_.finishWrite(c.plan);
+            c.stage = ActiveCorrection::Stage::VerUp;
+            break;
+          }
+          case ActiveCorrection::Stage::VerUp: {
+            if (!c.needUp) {
+                c.stage = ActiveCorrection::Stage::VerLow;
+                break;
+            }
+            occupy(bank, read_lat, OpKind::CascadeRead, [this, bank] {
+                ActiveWrite& aw = *banks_[bank].active;
+                ActiveCorrection& cc = *aw.corr;
+                const LineData post = device_.readLine(cc.up);
+                stats_.cascadeVerifies += 1;
+                cc.stage = ActiveCorrection::Stage::VerLow;
+                handleVerifyErrors(bank, cc.up,
+                                   diffPositions(post, cc.upData),
+                                   cc.task.depth + 1);
+            });
+            return;
+          }
+          case ActiveCorrection::Stage::VerLow: {
+            if (!c.needLow) {
+                c.stage = ActiveCorrection::Stage::Done;
+                break;
+            }
+            occupy(bank, read_lat, OpKind::CascadeRead, [this, bank] {
+                ActiveWrite& aw = *banks_[bank].active;
+                ActiveCorrection& cc = *aw.corr;
+                const LineData post = device_.readLine(cc.low);
+                stats_.cascadeVerifies += 1;
+                cc.stage = ActiveCorrection::Stage::Done;
+                handleVerifyErrors(bank, cc.low,
+                                   diffPositions(post, cc.lowData),
+                                   cc.task.depth + 1);
+            });
+            return;
+          }
+          case ActiveCorrection::Stage::Done: {
+            a.corr.reset();
+            advanceWrite(bank);
+            return;
+          }
+        }
+    }
+}
+
+} // namespace sdpcm

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * The SD-PCM memory controller.
+ *
+ * Implements the queueing and scheduling model of Table 2 (per-bank
+ * 32-entry write queues, drain-on-full bursty writes that block reads,
+ * read priority otherwise) plus the paper's mechanisms:
+ *
+ *  - Basic VnC (Section 3.2): every write to super dense PCM pre-reads
+ *    its used adjacent lines, writes, post-reads and compares, and issues
+ *    correction writes for disturbed cells; corrections recursively
+ *    verify *their* adjacent lines (cascading verification).
+ *  - LazyCorrection (Section 4.2): verification errors are parked in the
+ *    line's free ECP entries (on the disturbance-free low-density ECP
+ *    chip); a correction write is issued only on ECP overflow and then
+ *    clears all parked errors.
+ *  - PreRead (Section 4.3): while a write waits in the queue, the two
+ *    pre-write reads are issued during bank idle cycles and buffered next
+ *    to the entry (pr-bits + 2x64B buffers, Figure 8); if the adjacent
+ *    line itself sits earlier in the write queue its payload is forwarded
+ *    directly, and completed writes refresh any stale buffered copies.
+ *  - (n:m)-Alloc (Section 4.4): the allocator tag carried by each write
+ *    decides which adjacent lines exist at all; block-edge strips always
+ *    verify outwards.
+ *  - Write cancellation (Section 6.8): an arriving read may cancel an
+ *    in-flight write service during its pre-read or program-round stages
+ *    (never during verification/correction); the partially programmed
+ *    line simply re-queues, and any disturbance already caused stays —
+ *    re-execution will find it.
+ */
+
+#ifndef SDPCM_CONTROLLER_MEMCTRL_HH
+#define SDPCM_CONTROLLER_MEMCTRL_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "controller/scheme.hh"
+#include "pcm/device.hh"
+#include "sim/event_queue.hh"
+
+namespace sdpcm {
+
+/** Controller statistics. */
+struct CtrlStats
+{
+    std::uint64_t readsServiced = 0;
+    std::uint64_t readsForwarded = 0;
+    std::uint64_t writesAccepted = 0;
+    std::uint64_t writesCoalesced = 0;
+    std::uint64_t writesCompleted = 0;
+    std::uint64_t writeDrains = 0;
+
+    std::uint64_t preReadsIssued = 0;
+    std::uint64_t preReadsForwarded = 0;
+    std::uint64_t preReadsUseful = 0; //!< pre-reads that skipped a VnC read
+
+    std::uint64_t verifyReads = 0;
+    std::uint64_t adjacentsSkippedNm = 0;
+    std::uint64_t ecpUpdates = 0;
+    std::uint64_t correctionWrites = 0;
+    std::uint64_t cascadeVerifies = 0; //!< verify reads caused by corrections
+    std::uint64_t cascadeDropped = 0;  //!< tasks dropped at the depth cap
+    RunningStat cascadeDepth;
+
+    std::uint64_t writeCancellations = 0;
+
+    /** Bank-busy cycles by operation category. */
+    std::uint64_t cyclesRead = 0;
+    std::uint64_t cyclesWrite = 0;
+    std::uint64_t cyclesPreRead = 0;
+    std::uint64_t cyclesVerify = 0;
+    std::uint64_t cyclesCorrection = 0;
+    std::uint64_t cyclesEcp = 0;
+
+    RunningStat readLatency;         //!< enqueue -> data return, cycles
+    RunningStat writeServiceLatency; //!< service start -> complete
+};
+
+/** The per-channel memory controller. */
+class MemoryController
+{
+  public:
+    MemoryController(EventQueue& events, PcmDevice& device,
+                     const SchemeConfig& scheme, std::uint64_t seed);
+
+    const SchemeConfig& scheme() const { return scheme_; }
+    CtrlStats& stats() { return stats_; }
+    const CtrlStats& stats() const { return stats_; }
+
+    /** Submit a read; the callback fires when data is available. */
+    void submitRead(PhysAddr addr, unsigned core_id,
+                    std::function<void(const LineData&)> on_complete);
+
+    /** True if the bank's write queue can take another entry. */
+    bool canAcceptWrite(PhysAddr addr) const;
+
+    /**
+     * Submit a write; the payload is synthesised as the line's current
+     * (queue-coherent) value with `flip_density * 512` random bits
+     * flipped. @return false if the write queue is full.
+     */
+    bool submitWrite(PhysAddr addr, const NmRatio& tag, unsigned core_id,
+                     double flip_density);
+
+    /** Submit a write with an explicit payload. */
+    bool submitWriteData(PhysAddr addr, const NmRatio& tag,
+                         unsigned core_id, const LineData& payload);
+
+    /** Register a callback for when the bank's write queue has space. */
+    void onWriteSpace(PhysAddr addr, std::function<void()> cb);
+
+    /** True when all queues are empty and no bank is busy. */
+    bool quiescent() const;
+
+    /** Pending writes across all banks (drain diagnostics). */
+    std::uint64_t pendingWrites() const;
+
+  private:
+    /** Bank-op categories for cycle attribution. */
+    enum class OpKind
+    {
+        Read, PreRead, WriteRound, VerifyRead, CorrectionRound,
+        CascadeRead, EcpUpdate
+    };
+
+    /** One queued write (Figure 8 write-queue entry). */
+    struct QueuedWrite
+    {
+        LineAddr la;
+        NmRatio tag;
+        unsigned coreId = 0;
+        Tick enqueueTick = 0;
+        LineData payload;
+        // Adjacency derived from tag + geometry at enqueue time.
+        bool needUpper = false;
+        bool needLower = false;
+        LineAddr upperAddr;
+        LineAddr lowerAddr;
+        // PreRead flag bits + buffers.
+        bool prUpper = false;
+        bool prLower = false;
+        LineData upperData;
+        LineData lowerData;
+        unsigned cancels = 0;
+    };
+
+    struct PendingRead
+    {
+        LineAddr la;
+        unsigned coreId = 0;
+        Tick enqueueTick = 0;
+        std::function<void(const LineData&)> onComplete;
+    };
+
+    /** A pending correction (cascading verification work item). */
+    struct CorrectionTask
+    {
+        LineAddr addr;
+        std::vector<unsigned> cells;
+        unsigned depth = 1;
+    };
+
+    /** Correction sub-state while a task executes. */
+    struct ActiveCorrection
+    {
+        CorrectionTask task;
+        PcmDevice::WritePlan plan;
+        bool planned = false;
+        bool needUp = false, needLow = false;
+        LineAddr up, low;
+        bool haveUpData = false, haveLowData = false;
+        LineData upData, lowData;
+
+        enum class Stage { PreUp, PreLow, Rounds, VerUp, VerLow, Done };
+        Stage stage = Stage::PreUp;
+    };
+
+    /** In-service write (owns the queue entry until completion). */
+    struct ActiveWrite
+    {
+        QueuedWrite w;
+        PcmDevice::WritePlan plan;
+        bool planned = false;
+        std::deque<CorrectionTask> tasks;
+        std::optional<ActiveCorrection> corr;
+        Tick serviceStart = 0;
+        Tick pendingEcpCycles = 0;
+        unsigned maxDepthSeen = 0;
+
+        enum class Stage
+        {
+            PreUpper, PreLower, Rounds, VerUpper, VerLower,
+            Corrections
+        };
+        Stage stage = Stage::PreUpper;
+    };
+
+    struct Bank
+    {
+        bool busy = false;
+        bool draining = false;
+        unsigned drainRemaining = 0;
+        unsigned wcReadGrace = 0; //!< reads admitted by a cancellation
+        std::deque<PendingRead> readQueue;
+        std::deque<QueuedWrite> writeQueue;
+        std::optional<ActiveWrite> active;
+        std::vector<std::function<void()>> spaceWaiters;
+        // In-flight operation bookkeeping (for write cancellation).
+        std::uint64_t opGen = 0;       //!< bumped to invalidate completions
+        bool opCancellable = false;
+        OpKind opKind = OpKind::Read;
+        Tick opStart = 0;
+        Tick opLatency = 0;
+    };
+
+    void kick(unsigned bank);
+    void occupy(unsigned bank, Tick latency, OpKind kind,
+                std::function<void()> done, bool cancellable = false);
+    void chargeCycles(OpKind kind, Tick latency);
+    void refundCycles(OpKind kind, Tick latency);
+    void maybeCancelForRead(unsigned bank);
+    void serviceRead(unsigned bank);
+    void startWriteService(unsigned bank);
+    void advanceWrite(unsigned bank);
+    void advanceCorrection(unsigned bank);
+    void completeWrite(unsigned bank);
+    void cancelActive(unsigned bank);
+    void tryIssuePreRead(unsigned bank);
+    void notifySpace(unsigned bank);
+
+    /** Handle verification errors on one adjacent line. */
+    void handleVerifyErrors(unsigned bank, const LineAddr& addr,
+                            std::vector<unsigned> errors, unsigned depth);
+
+    /** Derive adjacency requirements for a write under its tag. */
+    void computeAdjacency(QueuedWrite& w);
+    const NmPolicy& policyFor(const NmRatio& tag) const;
+
+    /** Latest queue-coherent logical value of a line. */
+    LineData coherentValue(unsigned bank, const LineAddr& la);
+
+    /** Forward/refresh pre-read buffers after a write to `la` commits. */
+    void refreshBuffersAfterWrite(unsigned bank, const LineAddr& la,
+                                  const LineData& data);
+
+    /** Make a payload by flipping ~density*512 random bits of base. */
+    LineData mutatePayload(const LineData& base, double density);
+
+    EventQueue& events_;
+    PcmDevice& device_;
+    SchemeConfig scheme_;
+    Rng rng_;
+    CtrlStats stats_;
+    std::vector<Bank> banks_;
+    mutable std::map<std::uint64_t, NmPolicy> policies_;
+
+    static constexpr unsigned kMaxCascadeDepth = 64;
+};
+
+} // namespace sdpcm
+
+#endif // SDPCM_CONTROLLER_MEMCTRL_HH

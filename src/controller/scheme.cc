@@ -1,0 +1,69 @@
+#include "controller/scheme.hh"
+
+namespace sdpcm {
+
+SchemeConfig
+SchemeConfig::din8F2()
+{
+    SchemeConfig c;
+    c.name = "DIN";
+    c.superDense = false;
+    c.vnc = false;
+    return c;
+}
+
+SchemeConfig
+SchemeConfig::baselineVnc()
+{
+    SchemeConfig c;
+    c.name = "baseline";
+    return c;
+}
+
+SchemeConfig
+SchemeConfig::lazyC(unsigned ecp_entries)
+{
+    SchemeConfig c;
+    c.name = "LazyC";
+    c.lazyCorrection = true;
+    c.ecpEntries = ecp_entries;
+    return c;
+}
+
+SchemeConfig
+SchemeConfig::lazyCPreRead()
+{
+    SchemeConfig c = lazyC();
+    c.name = "LazyC+PreRead";
+    c.preRead = true;
+    return c;
+}
+
+SchemeConfig
+SchemeConfig::lazyCNm(const NmRatio& tag)
+{
+    SchemeConfig c = lazyC();
+    c.name = "LazyC+(" + tag.toString() + ")";
+    c.defaultTag = tag;
+    return c;
+}
+
+SchemeConfig
+SchemeConfig::lazyCPreReadNm(const NmRatio& tag)
+{
+    SchemeConfig c = lazyCPreRead();
+    c.name = "LazyC+PreRead+(" + tag.toString() + ")";
+    c.defaultTag = tag;
+    return c;
+}
+
+SchemeConfig
+SchemeConfig::nmOnly(const NmRatio& tag)
+{
+    SchemeConfig c;
+    c.name = "(" + tag.toString() + ")";
+    c.defaultTag = tag;
+    return c;
+}
+
+} // namespace sdpcm

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Scheme configuration: which of the paper's mechanisms are active.
+ *
+ * The compared schemes of Section 5.3 are specific combinations:
+ *   - DIN            : din8F2() — 8F^2 comparator, WD-free bit-lines, no VnC
+ *   - baseline       : baselineVnc() — super dense + basic verify-n-correct
+ *   - LazyC          : lazyC() — + WD buffering in low-density ECP
+ *   - LazyC+PreRead  : lazyCPreRead()
+ *   - (n:m)-Alloc    : via defaultTag
+ *   - WC variants    : writeCancellation = true
+ */
+
+#ifndef SDPCM_CONTROLLER_SCHEME_HH
+#define SDPCM_CONTROLLER_SCHEME_HH
+
+#include <string>
+
+#include "os/nm_policy.hh"
+
+namespace sdpcm {
+
+/** Memory-controller / device mechanism selection. */
+struct SchemeConfig
+{
+    std::string name = "baseline";
+
+    /**
+     * Super dense (4F^2) cell array. When false the comparator DIN design
+     * (8F^2) is modelled: bit-line disturbance vanishes and no VnC runs.
+     */
+    bool superDense = true;
+
+    /** Run verify-n-correct on every write (required for super dense). */
+    bool vnc = true;
+
+    /** LazyCorrection: park WD errors in free ECP entries. */
+    bool lazyCorrection = false;
+
+    /** ECP entries per 64B line (ECP-N). */
+    unsigned ecpEntries = 6;
+
+    /** PreRead: issue pre-write reads from the write queue early. */
+    bool preRead = false;
+
+    /** Write cancellation (Qureshi et al., HPCA'10) integration. */
+    bool writeCancellation = false;
+    unsigned maxCancelsPerWrite = 4;
+
+    /** Default (n:m) allocator tag for every application. */
+    NmRatio defaultTag{1, 1};
+
+    /** Write queue entries per bank (Table 2: 32). */
+    unsigned writeQueueEntries = 32;
+
+    /**
+     * A drain triggered by a full queue services a bounded burst of
+     * writes (or until the queue empties) before readmitting reads.
+     * Bounding the burst caps how long a drain blocks reads regardless
+     * of the queue capacity.
+     */
+    unsigned drainBurstWrites = 16;
+
+    /**
+     * Also drain one write when the bank is otherwise idle. The paper's
+     * policy (Table 2) buffers writes until the queue is full — that is
+     * what creates the long queue residency PreRead exploits — so this
+     * defaults to off; writes still left in a never-filled queue at the
+     * end of a run are simply uncommitted buffer content.
+     */
+    bool idleWriteDrain = false;
+
+    /**
+     * Bank cycles charged for updating the ECP chip after verification.
+     * The ECP chip is a separate device on the rank, so its short write
+     * overlaps with subsequent data-chip operations; 0 models the overlap
+     * (the ablation bench studies nonzero values).
+     */
+    unsigned ecpUpdateCycles = 0;
+
+    /**
+     * Attribution switches for the Figure 5 overhead breakdown: when
+     * false, the corresponding operations still execute functionally but
+     * occupy the bank for zero cycles.
+     */
+    bool chargeVerifyOps = true;
+    bool chargeCorrectionOps = true;
+
+    /** TLB miss penalty in cycles (page-table walk). */
+    unsigned tlbMissCycles = 30;
+
+    // --- Named configurations from Section 5.3. ---
+    static SchemeConfig din8F2();
+    static SchemeConfig baselineVnc();
+    static SchemeConfig lazyC(unsigned ecp_entries = 6);
+    static SchemeConfig lazyCPreRead();
+    static SchemeConfig lazyCNm(const NmRatio& tag);
+    static SchemeConfig lazyCPreReadNm(const NmRatio& tag);
+    static SchemeConfig nmOnly(const NmRatio& tag);
+};
+
+} // namespace sdpcm
+
+#endif // SDPCM_CONTROLLER_SCHEME_HH

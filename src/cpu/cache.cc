@@ -1,0 +1,186 @@
+#include "cpu/cache.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace sdpcm {
+
+Cache::Cache(const CacheConfig& config)
+    : config_(config)
+{
+    SDPCM_ASSERT(isPowerOfTwo(config.lineBytes), "line size must be 2^k");
+    SDPCM_ASSERT(config.ways >= 1, "cache needs at least one way");
+    const std::uint64_t lines = config.sizeBytes / config.lineBytes;
+    SDPCM_ASSERT(lines % config.ways == 0, "size/ways mismatch");
+    sets_ = lines / config.ways;
+    SDPCM_ASSERT(isPowerOfTwo(sets_), "set count must be 2^k");
+    array_.assign(sets_, std::vector<Way>(config.ways));
+}
+
+std::uint64_t
+Cache::lineOf(std::uint64_t addr) const
+{
+    return addr / config_.lineBytes;
+}
+
+std::uint64_t
+Cache::setOf(std::uint64_t line) const
+{
+    return line & (sets_ - 1);
+}
+
+bool
+Cache::probe(std::uint64_t addr) const
+{
+    const std::uint64_t line = lineOf(addr);
+    for (const Way& way : array_[setOf(line)]) {
+        if (way.valid && way.tag == line)
+            return true;
+    }
+    return false;
+}
+
+bool
+Cache::access(std::uint64_t addr, bool is_write,
+              std::optional<Eviction>& victim)
+{
+    victim.reset();
+    const std::uint64_t line = lineOf(addr);
+    auto& set = array_[setOf(line)];
+    for (Way& way : set) {
+        if (way.valid && way.tag == line) {
+            way.lastUse = ++useClock_;
+            way.dirty |= is_write;
+            hits_ += 1;
+            return true;
+        }
+    }
+    misses_ += 1;
+    victim = insert(addr, is_write);
+    return false;
+}
+
+std::optional<Cache::Eviction>
+Cache::insert(std::uint64_t addr, bool dirty)
+{
+    const std::uint64_t line = lineOf(addr);
+    auto& set = array_[setOf(line)];
+    // Reuse an existing entry (upstream writeback into a present line).
+    for (Way& way : set) {
+        if (way.valid && way.tag == line) {
+            way.dirty |= dirty;
+            way.lastUse = ++useClock_;
+            return std::nullopt;
+        }
+    }
+    Way* target = nullptr;
+    for (Way& way : set) {
+        if (!way.valid) {
+            target = &way;
+            break;
+        }
+    }
+    std::optional<Eviction> victim;
+    if (!target) {
+        target = &set[0];
+        for (Way& way : set) {
+            if (way.lastUse < target->lastUse)
+                target = &way;
+        }
+        victim = Eviction{target->tag * config_.lineBytes, target->dirty};
+        if (target->dirty)
+            writebacks_ += 1;
+    }
+    target->valid = true;
+    target->tag = line;
+    target->dirty = dirty;
+    target->lastUse = ++useClock_;
+    return victim;
+}
+
+std::optional<bool>
+Cache::invalidate(std::uint64_t addr)
+{
+    const std::uint64_t line = lineOf(addr);
+    for (Way& way : array_[setOf(line)]) {
+        if (way.valid && way.tag == line) {
+            way.valid = false;
+            return way.dirty;
+        }
+    }
+    return std::nullopt;
+}
+
+CacheHierarchy::CacheHierarchy(const CacheConfig& l1,
+                               const CacheConfig& l2,
+                               const CacheConfig& l3)
+    : l1_(l1), l2_(l2), l3_(l3)
+{}
+
+CacheHierarchy
+CacheHierarchy::makeTable2()
+{
+    CacheConfig l1{"L1", 32 * 1024, 8, 64, 1};
+    CacheConfig l2{"L2", 2 * 1024 * 1024, 4, 64, 20};
+    CacheConfig l3{"L3-DRAM", 32 * 1024 * 1024, 8, 64, 200};
+    return CacheHierarchy(l1, l2, l3);
+}
+
+HierarchyResult
+CacheHierarchy::access(std::uint64_t addr, bool is_write)
+{
+    HierarchyResult result;
+    std::optional<Cache::Eviction> victim;
+
+    if (l1_.access(addr, is_write, victim)) {
+        result.hitLevel = 1;
+        result.latency = l1_.config().hitCycles;
+    }
+    // L1 victim writes back into L2.
+    std::optional<Cache::Eviction> l2_victim;
+    if (victim && victim->dirty) {
+        if (auto deeper = l2_.insert(victim->addr, true))
+            l2_victim = deeper;
+    }
+    if (result.hitLevel == 1) {
+        if (l2_victim && l2_victim->dirty) {
+            if (auto l3v = l3_.insert(l2_victim->addr, true);
+                l3v && l3v->dirty) {
+                result.memoryWrites.push_back(l3v->addr);
+            }
+        }
+        return result;
+    }
+
+    if (l2_.access(addr, is_write, l2_victim)) {
+        result.hitLevel = 2;
+        result.latency = l2_.config().hitCycles;
+    }
+    std::optional<Cache::Eviction> l3_victim;
+    if (l2_victim && l2_victim->dirty) {
+        if (auto deeper = l3_.insert(l2_victim->addr, true))
+            l3_victim = deeper;
+    }
+    if (result.hitLevel == 2) {
+        if (l3_victim && l3_victim->dirty)
+            result.memoryWrites.push_back(l3_victim->addr);
+        return result;
+    }
+
+    if (l3_.access(addr, is_write, l3_victim)) {
+        result.hitLevel = 3;
+        result.latency = l3_.config().hitCycles;
+        if (l3_victim && l3_victim->dirty)
+            result.memoryWrites.push_back(l3_victim->addr);
+        return result;
+    }
+
+    // Miss everywhere: PCM read; the allocation may evict a dirty line.
+    result.hitLevel = 0;
+    result.memoryRead = true;
+    if (l3_victim && l3_victim->dirty)
+        result.memoryWrites.push_back(l3_victim->addr);
+    return result;
+}
+
+} // namespace sdpcm

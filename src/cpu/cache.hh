@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Set-associative write-back cache model and the three-level hierarchy
+ * of Table 2 (per-core L1 32KB, L2 2MB, DRAM L3 32MB).
+ *
+ * The paper captures its traces after the cache hierarchy; this model is
+ * what stands in for that capture step: CPU-level load/store streams run
+ * through the hierarchy and only the L3 misses and dirty L3 evictions
+ * reach the PCM memory controller.
+ */
+
+#ifndef SDPCM_CPU_CACHE_HH
+#define SDPCM_CPU_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pcm/timing.hh"
+
+namespace sdpcm {
+
+/** Configuration of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned ways = 4;
+    unsigned lineBytes = 64;
+    Tick hitCycles = 1;
+};
+
+/** A write-back, write-allocate, LRU set-associative cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig& config);
+
+    const CacheConfig& config() const { return config_; }
+    std::uint64_t sets() const { return sets_; }
+
+    /** An evicted dirty line that must be written downstream. */
+    struct Eviction
+    {
+        std::uint64_t addr = 0;
+        bool dirty = false;
+    };
+
+    /** Hit/miss lookup without allocation. */
+    bool probe(std::uint64_t addr) const;
+
+    /**
+     * Access the cache; on a miss the line is allocated (caller handles
+     * the downstream fill) and the victim, if any, is returned.
+     *
+     * @param addr byte address
+     * @param is_write marks the line dirty on hit or allocate
+     * @param[out] victim the evicted line, valid if returned true
+     * @return true on hit
+     */
+    bool access(std::uint64_t addr, bool is_write,
+                std::optional<Eviction>& victim);
+
+    /** Insert a line (fill or writeback-allocate from upstream). */
+    std::optional<Eviction> insert(std::uint64_t addr, bool dirty);
+
+    /** Invalidate a line, returning its dirty state if present. */
+    std::optional<bool> invalidate(std::uint64_t addr);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t lineOf(std::uint64_t addr) const;
+    std::uint64_t setOf(std::uint64_t line) const;
+
+    CacheConfig config_;
+    std::uint64_t sets_;
+    std::vector<std::vector<Way>> array_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+/** Outcome of a hierarchy access. */
+struct HierarchyResult
+{
+    unsigned hitLevel = 0; //!< 1..3, or 0 = main memory
+    Tick latency = 0;      //!< cycles until data available (caches only)
+    bool memoryRead = false; //!< an L3 miss reaches PCM
+    /** Dirty L3 evictions that must be written to PCM. */
+    std::vector<std::uint64_t> memoryWrites;
+};
+
+/** The private three-level hierarchy of one core. */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(const CacheConfig& l1, const CacheConfig& l2,
+                   const CacheConfig& l3);
+
+    /** Table 2 defaults (per-core slices). */
+    static CacheHierarchy makeTable2();
+
+    /** Run one load/store through the hierarchy. */
+    HierarchyResult access(std::uint64_t addr, bool is_write);
+
+    const Cache& l1() const { return l1_; }
+    const Cache& l2() const { return l2_; }
+    const Cache& l3() const { return l3_; }
+
+  private:
+    Cache l1_;
+    Cache l2_;
+    Cache l3_;
+};
+
+} // namespace sdpcm
+
+#endif // SDPCM_CPU_CACHE_HH

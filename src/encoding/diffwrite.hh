@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Differential write (Zhou et al., ISCA'09): program only the cells whose
+ * stored value differs from the new value. This both extends endurance and
+ * bounds the number of RESET pulses — the sole source of write
+ * disturbance — per write.
+ */
+
+#ifndef SDPCM_ENCODING_DIFFWRITE_HH
+#define SDPCM_ENCODING_DIFFWRITE_HH
+
+#include "pcm/line.hh"
+
+namespace sdpcm {
+
+/** Cell-level program operations needed to move `from` to `to`. */
+struct WriteMasks
+{
+    LineData resetMask; //!< cells transitioning 1 -> 0 (RESET pulses)
+    LineData setMask;   //!< cells transitioning 0 -> 1 (SET pulses)
+
+    unsigned resetCount() const { return resetMask.popcount(); }
+    unsigned setCount() const { return setMask.popcount(); }
+    unsigned changedCount() const { return resetCount() + setCount(); }
+};
+
+/** Compute the differential-write program masks. */
+inline WriteMasks
+diffWrite(const LineData& from, const LineData& to)
+{
+    WriteMasks masks;
+    for (unsigned w = 0; w < kLineWords; ++w) {
+        const std::uint64_t changed = from.words[w] ^ to.words[w];
+        masks.resetMask.words[w] = changed & from.words[w];
+        masks.setMask.words[w] = changed & to.words[w];
+    }
+    return masks;
+}
+
+} // namespace sdpcm
+
+#endif // SDPCM_ENCODING_DIFFWRITE_HH

@@ -1,0 +1,121 @@
+#include "encoding/din.hh"
+
+#include "common/logging.hh"
+
+namespace sdpcm {
+
+namespace {
+
+std::uint64_t
+groupMask(unsigned group_bits, unsigned group_in_word)
+{
+    const std::uint64_t base = group_bits == 64
+        ? ~0ULL
+        : ((1ULL << group_bits) - 1);
+    return base << (group_in_word * group_bits);
+}
+
+/** Vulnerable-pair count of one 64-cell chip segment. */
+int
+wordCost(std::uint64_t target, std::uint64_t old)
+{
+    const std::uint64_t resets = old & ~target;
+    const std::uint64_t idle0 = ~old & ~target;
+    return popcount64(resets & (idle0 >> 1)) +
+           popcount64(resets & (idle0 << 1));
+}
+
+} // namespace
+
+DinEncoder::DinEncoder(const DinConfig& config)
+    : config_(config)
+{
+    // groupBits >= 8 keeps the per-line flag count within one 64-bit word.
+    SDPCM_ASSERT(config_.groupBits >= 8 && config_.groupBits <= 64 &&
+                 64 % config_.groupBits == 0,
+                 "DIN group size must divide 64 and be >= 8, got ",
+                 config_.groupBits);
+    SDPCM_ASSERT(config_.sweeps >= 1, "DIN needs at least one sweep");
+}
+
+DinEncoder::Encoding
+DinEncoder::encode(const LineData& new_logical,
+                   const LineData& old_physical) const
+{
+    Encoding out;
+    const unsigned groups_per_word = 64 / config_.groupBits;
+
+    // Groups never straddle chip (64-cell) boundaries, so each word is an
+    // independent optimisation problem.
+    for (unsigned w = 0; w < kLineWords; ++w) {
+        const std::uint64_t logical = new_logical.words[w];
+        const std::uint64_t old = old_physical.words[w];
+
+        std::uint64_t flip_mask = 0; // union of masks of flipped groups
+        std::uint64_t flip_flags = 0;
+
+        for (unsigned sweep = 0; sweep < config_.sweeps; ++sweep) {
+            bool changed_any = false;
+            for (unsigned g = 0; g < groups_per_word; ++g) {
+                const std::uint64_t mask =
+                    groupMask(config_.groupBits, g);
+                const std::uint64_t without = flip_mask & ~mask;
+                const std::uint64_t with = flip_mask | mask;
+
+                const std::uint64_t t0 = logical ^ without;
+                const std::uint64_t t1 = logical ^ with;
+                const int w = static_cast<int>(config_.vulnWeight);
+                const int cost0 =
+                    w * wordCost(t0, old) + popcount64(t0 ^ old);
+                const int cost1 =
+                    w * wordCost(t1, old) + popcount64(t1 ^ old);
+                const bool flip = cost1 < cost0;
+                const std::uint64_t next = flip ? with : without;
+                if (next != flip_mask) {
+                    flip_mask = next;
+                    changed_any = true;
+                }
+                if (flip)
+                    flip_flags |= 1ULL << g;
+                else
+                    flip_flags &= ~(1ULL << g);
+            }
+            if (!changed_any)
+                break;
+        }
+
+        out.physical.words[w] = logical ^ flip_mask;
+        // Pack per-word flags into the line-wide flag word.
+        out.flags |= flip_flags << (w * groups_per_word);
+    }
+    return out;
+}
+
+LineData
+DinEncoder::decode(const LineData& physical, std::uint64_t flags) const
+{
+    LineData out;
+    const unsigned groups_per_word = 64 / config_.groupBits;
+    unsigned group_index = 0;
+    for (unsigned w = 0; w < kLineWords; ++w) {
+        std::uint64_t word = physical.words[w];
+        for (unsigned g = 0; g < groups_per_word; ++g, ++group_index) {
+            if ((flags >> group_index) & 1ULL)
+                word ^= groupMask(config_.groupBits, g);
+        }
+        out.words[w] = word;
+    }
+    return out;
+}
+
+unsigned
+DinEncoder::vulnerablePairs(const LineData& target,
+                            const LineData& old_physical)
+{
+    unsigned pairs = 0;
+    for (unsigned w = 0; w < kLineWords; ++w)
+        pairs += wordCost(target.words[w], old_physical.words[w]);
+    return pairs;
+}
+
+} // namespace sdpcm

@@ -1,0 +1,133 @@
+#include "encoding/ecc.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace sdpcm {
+
+namespace {
+
+// Hamming check bit h covers the data bits whose (1-based, check-bit-
+// skipping) codeword position has bit h set. Precomputing the 7 masks
+// over the 64 data bits keeps encode/decode to a handful of popcounts.
+struct HammingMasks
+{
+    std::uint64_t cover[7] = {};
+    // Codeword position (1-based) of each data bit.
+    std::uint8_t position[64] = {};
+
+    HammingMasks()
+    {
+        unsigned data_index = 0;
+        for (unsigned pos = 1; data_index < 64; ++pos) {
+            if (isPowerOfTwo(pos))
+                continue; // check-bit slot
+            position[data_index] = static_cast<std::uint8_t>(pos);
+            for (unsigned h = 0; h < 7; ++h) {
+                if (pos & (1u << h))
+                    cover[h] |= 1ULL << data_index;
+            }
+            ++data_index;
+        }
+    }
+};
+
+const HammingMasks&
+masks()
+{
+    static const HammingMasks m;
+    return m;
+}
+
+} // namespace
+
+std::uint8_t
+Secded72::encode(std::uint64_t data)
+{
+    const auto& m = masks();
+    std::uint8_t check = 0;
+    for (unsigned h = 0; h < 7; ++h) {
+        if (popcount64(data & m.cover[h]) & 1)
+            check |= 1u << h;
+    }
+    // Overall parity over data + the 7 Hamming bits.
+    const unsigned total =
+        popcount64(data) + popcount64(check & 0x7fu);
+    if (total & 1)
+        check |= 0x80u;
+    return check;
+}
+
+Secded72::Result
+Secded72::decode(std::uint64_t data, std::uint8_t check)
+{
+    const auto& m = masks();
+    // Syndrome: recomputed Hamming bits vs the received ones. Overall
+    // parity must be taken over the *received* 72-bit codeword (the
+    // transmitted codeword has even total parity by construction).
+    std::uint8_t recomputed = 0;
+    for (unsigned h = 0; h < 7; ++h) {
+        if (popcount64(data & m.cover[h]) & 1)
+            recomputed |= 1u << h;
+    }
+    const std::uint8_t syndrome =
+        static_cast<std::uint8_t>((recomputed ^ check) & 0x7fu);
+    const bool total_odd =
+        ((popcount64(data) +
+          popcount64(static_cast<std::uint64_t>(check))) &
+         1) != 0;
+
+    Result result;
+    result.data = data;
+    if (!total_odd) {
+        if (syndrome == 0) {
+            result.outcome = Outcome::Clean;
+        } else {
+            // Even error count with a nonzero syndrome: double error.
+            result.outcome = Outcome::DetectedDouble;
+        }
+        return result;
+    }
+    // Odd total parity: assume a single error. The syndrome names the
+    // codeword position: a data position gets flipped; a check-bit or
+    // parity-bit position leaves the data intact.
+    for (unsigned i = 0; i < 64; ++i) {
+        if (m.position[i] == syndrome) {
+            result.data = data ^ (1ULL << i);
+            break;
+        }
+    }
+    result.outcome = Outcome::Corrected;
+    return result;
+}
+
+unsigned
+BchCode::checkBits() const
+{
+    SDPCM_ASSERT(dataBits > 0, "empty BCH block");
+    // The paper's estimate: t * ceil(log2(k)) + 1 detection bit
+    // (9 errors over 512 bits -> 9*9+1 = 82 bits).
+    unsigned bits_per_error = 0;
+    while ((1u << bits_per_error) < dataBits)
+        ++bits_per_error;
+    return correctable * bits_per_error + 1;
+}
+
+unsigned
+secdedUncorrectableWords(const LineData& original,
+                         const LineData& corrupted)
+{
+    unsigned uncorrectable = 0;
+    for (unsigned w = 0; w < kLineWords; ++w) {
+        const std::uint8_t check = Secded72::encode(original.words[w]);
+        const auto result =
+            Secded72::decode(corrupted.words[w], check);
+        if (result.outcome == Secded72::Outcome::DetectedDouble ||
+            result.data != original.words[w]) {
+            ++uncorrectable;
+        }
+    }
+    return uncorrectable;
+}
+
+} // namespace sdpcm

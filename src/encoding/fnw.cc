@@ -1,0 +1,76 @@
+#include "encoding/fnw.hh"
+
+#include "common/logging.hh"
+
+namespace sdpcm {
+
+namespace {
+
+/** Bit mask covering group g within its 64-bit word. */
+std::uint64_t
+groupMask(unsigned group_bits, unsigned group_in_word)
+{
+    const std::uint64_t base = group_bits == 64
+        ? ~0ULL
+        : ((1ULL << group_bits) - 1);
+    return base << (group_in_word * group_bits);
+}
+
+} // namespace
+
+FnwEncoder::FnwEncoder(unsigned group_bits)
+    : groupBits_(group_bits)
+{
+    // group_bits >= 8 keeps the per-line flag count within one 64-bit word.
+    SDPCM_ASSERT(group_bits >= 8 && group_bits <= 64 &&
+                 64 % group_bits == 0,
+                 "FNW group size must divide 64 and be >= 8, got ",
+                 group_bits);
+}
+
+FnwEncoder::Encoding
+FnwEncoder::encode(const LineData& new_logical,
+                   const LineData& old_physical) const
+{
+    Encoding out;
+    const unsigned groups_per_word = 64 / groupBits_;
+    unsigned group_index = 0;
+    for (unsigned w = 0; w < kLineWords; ++w) {
+        std::uint64_t word = 0;
+        for (unsigned g = 0; g < groups_per_word; ++g, ++group_index) {
+            const std::uint64_t mask = groupMask(groupBits_, g);
+            const std::uint64_t plain = new_logical.words[w] & mask;
+            const std::uint64_t flipped = ~new_logical.words[w] & mask;
+            const std::uint64_t old_bits = old_physical.words[w] & mask;
+            const int cost_plain = popcount64(plain ^ old_bits);
+            const int cost_flip = popcount64(flipped ^ old_bits);
+            if (cost_flip < cost_plain) {
+                word |= flipped;
+                out.flags |= 1ULL << group_index;
+            } else {
+                word |= plain;
+            }
+        }
+        out.physical.words[w] = word;
+    }
+    return out;
+}
+
+LineData
+FnwEncoder::decode(const LineData& physical, std::uint64_t flags) const
+{
+    LineData out;
+    const unsigned groups_per_word = 64 / groupBits_;
+    unsigned group_index = 0;
+    for (unsigned w = 0; w < kLineWords; ++w) {
+        std::uint64_t word = physical.words[w];
+        for (unsigned g = 0; g < groups_per_word; ++g, ++group_index) {
+            if ((flags >> group_index) & 1ULL)
+                word ^= groupMask(groupBits_, g);
+        }
+        out.words[w] = word;
+    }
+    return out;
+}
+
+} // namespace sdpcm

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Flip-N-Write (Cho & Lee, MICRO'09): per-group optional inversion chosen
+ * to minimise the number of programmed cells. Included as a baseline
+ * encoder for the ablation study; the SD-PCM experiments use the
+ * disturbance-aware DIN encoder instead.
+ */
+
+#ifndef SDPCM_ENCODING_FNW_HH
+#define SDPCM_ENCODING_FNW_HH
+
+#include <cstdint>
+
+#include "pcm/line.hh"
+
+namespace sdpcm {
+
+/** Flip-N-Write group-inversion encoder. */
+class FnwEncoder
+{
+  public:
+    /** @param group_bits cells per flip group; must divide 64. */
+    explicit FnwEncoder(unsigned group_bits = 16);
+
+    unsigned groupBits() const { return groupBits_; }
+    unsigned numGroups() const { return kLineBits / groupBits_; }
+
+    /**
+     * Choose per-group flips minimising changed cells relative to the old
+     * physical content.
+     *
+     * @param new_logical the data value to store
+     * @param old_physical current cell states
+     * @return encoded physical target and the flag word (bit g set =
+     *         group g stored inverted)
+     */
+    struct Encoding
+    {
+        LineData physical;
+        std::uint64_t flags = 0;
+    };
+
+    Encoding encode(const LineData& new_logical,
+                    const LineData& old_physical) const;
+
+    /** Recover logical data from physical cells + flag word. */
+    LineData decode(const LineData& physical, std::uint64_t flags) const;
+
+  private:
+    unsigned groupBits_;
+};
+
+} // namespace sdpcm
+
+#endif // SDPCM_ENCODING_FNW_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * WD-aware DMA support (Section 4.4, "DMA support").
+ *
+ * DMA transfers address physical memory directly and expect consecutive
+ * frames. The allocator tag is therefore communicated to the DMA
+ * controller; only (1:1) and (1:2) tags are allowed. Under (1:2) the
+ * controller skips every other strip automatically, so a logically
+ * contiguous buffer maps onto the used strips of the region.
+ */
+
+#ifndef SDPCM_OS_DMA_HH
+#define SDPCM_OS_DMA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "os/nm_policy.hh"
+#include "pcm/geometry.hh"
+
+namespace sdpcm {
+
+/** Physical-frame walker for DMA transfers under an allocator tag. */
+class DmaController
+{
+  public:
+    explicit DmaController(const DimmGeometry& geometry)
+        : geometry_(geometry)
+    {}
+
+    /** True if the tag is supported by the DMA engine. */
+    static bool
+    tagSupported(const NmRatio& tag)
+    {
+        return (tag.n == 1 && tag.m == 1) || (tag.n == 1 && tag.m == 2);
+    }
+
+    /**
+     * Enumerate the physical frames a transfer of `pages` logical pages
+     * touches, starting from physical frame `start_frame` (which must lie
+     * in a used strip). Under (1:2) every other strip is skipped.
+     */
+    std::vector<std::uint64_t> framesForTransfer(const NmRatio& tag,
+                                                 std::uint64_t start_frame,
+                                                 std::uint64_t pages) const;
+
+  private:
+    DimmGeometry geometry_;
+};
+
+} // namespace sdpcm
+
+#endif // SDPCM_OS_DMA_HH

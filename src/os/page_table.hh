@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Per-process address translation with the (n:m) allocator tag.
+ *
+ * Section 4.4: the page table gains an allocator-tag field which is loaded
+ * into the TLB on a fill and travels with every memory request to the
+ * memory controller, which uses it to decide which adjacent lines of a
+ * write need verification. Each core runs one process in its own virtual
+ * address space (the paper's multi-programmed setup), so the MMU here
+ * bundles a private page table, a small LRU TLB, and demand paging from
+ * the WD-aware page allocator.
+ */
+
+#ifndef SDPCM_OS_PAGE_TABLE_HH
+#define SDPCM_OS_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "os/buddy.hh"
+#include "os/nm_policy.hh"
+#include "pcm/address.hh"
+
+namespace sdpcm {
+
+/** Result of one address translation. */
+struct Translation
+{
+    PhysAddr paddr = 0;
+    NmRatio tag;
+    bool tlbHit = false;
+    bool pageFault = false; //!< first touch: a frame was allocated
+};
+
+/** Small fully-associative LRU TLB. */
+class Tlb
+{
+  public:
+    explicit Tlb(unsigned entries = 64);
+
+    /** Look up a virtual page; returns the frame on a hit. */
+    std::optional<std::uint64_t> lookup(std::uint64_t vpage);
+
+    /** Install a translation (evicts LRU if full). */
+    void insert(std::uint64_t vpage, std::uint64_t frame);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    unsigned capacity_;
+    std::list<std::uint64_t> lru_; //!< most recent at front
+    struct Entry
+    {
+        std::uint64_t frame;
+        std::list<std::uint64_t>::iterator lruPos;
+    };
+    std::unordered_map<std::uint64_t, Entry> map_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/**
+ * One process's view of memory: page table + TLB + demand allocation
+ * under a fixed (n:m) allocator tag (the paper assumes one allocator per
+ * application for simplicity).
+ */
+class Mmu
+{
+  public:
+    Mmu(PageAllocatorSystem& allocator, const NmRatio& tag,
+        unsigned page_bytes, unsigned tlb_entries = 64);
+
+    const NmRatio& tag() const { return tag_; }
+
+    /** Translate a virtual byte address, allocating on first touch. */
+    Translation translate(std::uint64_t vaddr);
+
+    /** Release every frame the process owns (process exit). */
+    void releaseAll();
+
+    std::uint64_t pageFaults() const { return pageFaults_; }
+    std::uint64_t mappedPages() const { return table_.size(); }
+    const Tlb& tlb() const { return tlb_; }
+
+  private:
+    PageAllocatorSystem& allocator_;
+    NmRatio tag_;
+    unsigned pageBytes_;
+    Tlb tlb_;
+    std::unordered_map<std::uint64_t, std::uint64_t> table_;
+    std::uint64_t pageFaults_ = 0;
+};
+
+} // namespace sdpcm
+
+#endif // SDPCM_OS_PAGE_TABLE_HH

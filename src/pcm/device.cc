@@ -1,0 +1,510 @@
+#include "pcm/device.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sdpcm {
+
+namespace {
+
+/** Valid-flagged packed image of one ECP entry (for the wear model). */
+std::uint16_t
+packEcpEntry(const EcpEntry& entry)
+{
+    return static_cast<std::uint16_t>(0x8000u |
+                                      (entry.cell << 1) |
+                                      (entry.value ? 1u : 0u));
+}
+
+} // namespace
+
+PcmDevice::PcmDevice(const DeviceConfig& config)
+    : config_(config),
+      map_(config.geometry),
+      din_(config.din),
+      rng_(config.seed)
+{
+    SDPCM_ASSERT(config_.aging.ageFraction >= 0.0 &&
+                 config_.aging.ageFraction <= 1.0,
+                 "age fraction must be in [0,1]");
+    hardErrorMean_ = config_.aging.meanHardPerLineAtEol *
+        std::pow(config_.aging.ageFraction, config_.aging.exponent);
+    banks_.resize(config_.geometry.banks());
+}
+
+std::uint64_t
+PcmDevice::lineKey(const LineAddr& addr) const
+{
+    return addr.row * config_.geometry.linesPerRow() + addr.line;
+}
+
+PcmDevice::LineState&
+PcmDevice::state(const LineAddr& addr)
+{
+    SDPCM_ASSERT(addr.bank < banks_.size(), "bank out of range");
+    SDPCM_ASSERT(addr.line < config_.geometry.linesPerRow(),
+                 "line out of range");
+    auto& bank = banks_[addr.bank];
+    const std::uint64_t key = lineKey(addr);
+    auto it = bank.find(key);
+    if (it != bank.end())
+        return it->second;
+
+    // First touch: materialise deterministic content and, when modelling
+    // an aged DIMM, a sampled population of stuck-at cells.
+    LineState ls;
+    const std::uint64_t content_key =
+        mix64(config_.seed ^ (static_cast<std::uint64_t>(addr.bank) << 58) ^
+              key);
+    ls.physical = LineData::randomFromKey(content_key);
+    ls.ecp = EcpLine(config_.ecpEntries);
+
+    if (hardErrorMean_ > 0.0) {
+        // Knuth Poisson sampling; the mean is small (<= a few errors).
+        const double limit = std::exp(-hardErrorMean_);
+        unsigned count = 0;
+        double product = rng_.uniform();
+        while (product > limit) {
+            ++count;
+            product *= rng_.uniform();
+        }
+        for (unsigned i = 0; i < count; ++i) {
+            const unsigned pos =
+                static_cast<unsigned>(rng_.below(kLineBits));
+            if (isHardCell(ls, pos))
+                continue;
+            const bool stuck = ls.physical.getBit(pos);
+            ls.hardCells.emplace_back(static_cast<std::uint16_t>(pos),
+                                      stuck);
+            stats_.hardErrors += 1;
+            if (!ls.ecp.recordHard(pos, stuck))
+                stats_.ecpSaturatedLines += 1;
+        }
+    }
+
+    auto [ins, ok] = bank.emplace(key, std::move(ls));
+    SDPCM_ASSERT(ok, "line state insert failed");
+    return ins->second;
+}
+
+bool
+PcmDevice::isHardCell(const LineState& ls, unsigned pos) const
+{
+    for (const auto& [cell, value] : ls.hardCells) {
+        if (cell == pos)
+            return true;
+    }
+    return false;
+}
+
+LineData
+PcmDevice::readLine(const LineAddr& addr)
+{
+    stats_.lineReads += 1;
+    return peekLine(addr);
+}
+
+LineData
+PcmDevice::peekLine(const LineAddr& addr)
+{
+    LineState& ls = state(addr);
+    LineData data = ls.physical;
+    ls.ecp.apply(data);
+    if (config_.dinEnabled)
+        return din_.decode(data, ls.dinFlags);
+    return data;
+}
+
+PcmDevice::WritePlan
+PcmDevice::planWrite(const LineAddr& addr, const LineData& new_logical)
+{
+    LineState& ls = state(addr);
+    WritePlan plan;
+    plan.addr = addr;
+
+    if (config_.dinEnabled) {
+        const auto enc = din_.encode(new_logical, ls.physical);
+        plan.intendedPhysical = enc.physical;
+        plan.targetFlags = enc.flags;
+    } else {
+        plan.intendedPhysical = new_logical;
+        plan.targetFlags = 0;
+    }
+
+    // Stuck-at cells cannot be programmed; the intended value is kept in
+    // the ECP entry instead (refreshed in finishWrite).
+    plan.targetPhysical = plan.intendedPhysical;
+    for (const auto& [cell, stuck] : ls.hardCells)
+        plan.targetPhysical.setBit(cell, stuck);
+
+    plan.masks = diffWrite(ls.physical, plan.targetPhysical);
+    for (unsigned w = 0; w < kLineWords; ++w) {
+        plan.writtenMask.words[w] =
+            plan.masks.resetMask.words[w] | plan.masks.setMask.words[w];
+    }
+    buildRounds(plan);
+    return plan;
+}
+
+PcmDevice::WritePlan
+PcmDevice::planCorrection(const LineAddr& addr,
+                          const std::vector<unsigned>& cells)
+{
+    LineState& ls = state(addr);
+    WritePlan plan;
+    plan.addr = addr;
+    plan.isCorrection = true;
+    plan.targetFlags = ls.dinFlags;
+
+    // Disturbed cells were amorphous '0' cells partially SET by heat; the
+    // correction RESETs them back. Cells already correct are skipped.
+    plan.targetPhysical = ls.physical;
+    for (const unsigned pos : cells) {
+        SDPCM_ASSERT(pos < kLineBits, "correction cell out of range");
+        if (!isHardCell(ls, pos))
+            plan.targetPhysical.setBit(pos, false);
+    }
+    plan.intendedPhysical = plan.targetPhysical;
+    plan.masks = diffWrite(ls.physical, plan.targetPhysical);
+    for (unsigned w = 0; w < kLineWords; ++w) {
+        plan.writtenMask.words[w] =
+            plan.masks.resetMask.words[w] | plan.masks.setMask.words[w];
+    }
+    SDPCM_ASSERT(plan.masks.setCount() == 0,
+                 "correction write must be RESET-only");
+    buildRounds(plan);
+    return plan;
+}
+
+void
+PcmDevice::buildRounds(WritePlan& plan)
+{
+    plan.rounds.clear();
+    plan.nextRound = 0;
+    const unsigned par = config_.timing.writeParallelism;
+    SDPCM_ASSERT(par > 0, "zero write parallelism");
+
+    if (config_.timing.windowed) {
+        // Fixed per-position drivers: the line divides into contiguous
+        // windows of `par` cells; each window with changed cells pays its
+        // own RESET and/or SET pulse.
+        SDPCM_ASSERT(par % 64 == 0 && kLineBits % par == 0,
+                     "windowed mode needs word-aligned windows");
+        const unsigned words_per_window = par / 64;
+        for (unsigned base = 0; base < kLineWords;
+             base += words_per_window) {
+            ProgramRound reset_round;
+            ProgramRound set_round;
+            bool any_reset = false;
+            bool any_set = false;
+            for (unsigned w = base; w < base + words_per_window; ++w) {
+                reset_round.mask.words[w] = plan.masks.resetMask.words[w];
+                set_round.mask.words[w] = plan.masks.setMask.words[w];
+                any_reset |= reset_round.mask.words[w] != 0;
+                any_set |= set_round.mask.words[w] != 0;
+            }
+            if (any_reset) {
+                reset_round.isReset = true;
+                plan.rounds.push_back(std::move(reset_round));
+            }
+            if (any_set) {
+                set_round.isReset = false;
+                plan.rounds.push_back(std::move(set_round));
+            }
+        }
+        return;
+    }
+
+    // Pooled drivers: any `par` cells may program together.
+    auto emit_chunks = [&](const LineData& mask, bool is_reset) {
+        ProgramRound round;
+        round.isReset = is_reset;
+        unsigned count = 0;
+        forEachSetBit(mask, [&](unsigned pos) {
+            round.mask.setBit(pos, true);
+            if (++count == par) {
+                plan.rounds.push_back(round);
+                round.mask = LineData{};
+                count = 0;
+            }
+        });
+        if (count)
+            plan.rounds.push_back(round);
+    };
+    emit_chunks(plan.masks.resetMask, true);
+    emit_chunks(plan.masks.setMask, false);
+}
+
+void
+PcmDevice::injectDisturbance(const LineAddr& addr, unsigned pos,
+                             WritePlan& plan, RoundOutcome& outcome)
+{
+    const unsigned word = pos >> 6;
+    const unsigned offset = pos & 63;
+    const unsigned lines_per_row = config_.geometry.linesPerRow();
+
+    // --- Word-line neighbours (same device row, adjacent cells on the
+    // shared word-line; oxide isolation between bit-lines). DIN encoding
+    // suppresses most vulnerable patterns along this direction.
+    const double wl_rate = config_.rates.wordLine *
+        (config_.dinEnabled ? config_.din.modeledResidualFactor : 1.0);
+    if (wl_rate > 0.0) {
+        auto probe_wl = [&](LineAddr n_addr, unsigned n_pos, bool idle) {
+            if (!idle)
+                return;
+            LineState& ns = state(n_addr);
+            if (ns.physical.getBit(n_pos) || isHardCell(ns, n_pos))
+                return;
+            if (!rng_.chance(wl_rate))
+                return;
+            ns.physical.setBit(n_pos, true);
+            outcome.wlErrors += 1;
+            stats_.wlDisturbances += 1;
+            plan.wlHits.push_back((n_addr.line << 9) | n_pos);
+        };
+
+        // Left neighbour.
+        if (offset > 0) {
+            const unsigned n_pos = pos - 1;
+            probe_wl(addr, n_pos, !plan.writtenMask.getBit(n_pos));
+        } else if (addr.line > 0) {
+            probe_wl(LineAddr{addr.bank, addr.row, addr.line - 1},
+                     (word << 6) | 63, true);
+        }
+        // Right neighbour.
+        if (offset < 63) {
+            const unsigned n_pos = pos + 1;
+            probe_wl(addr, n_pos, !plan.writtenMask.getBit(n_pos));
+        } else if (addr.line + 1 < lines_per_row) {
+            probe_wl(LineAddr{addr.bank, addr.row, addr.line + 1},
+                     word << 6, true);
+        }
+    }
+
+    // --- Bit-line neighbours (adjacent device rows on the shared GST
+    // rail; always idle since a write touches a single row).
+    if (config_.rates.bitLine > 0.0) {
+        auto probe_bl = [&](const LineAddr& n_addr, bool upper) {
+            // Draw first: materialising the neighbour is only needed when
+            // the thermal draw succeeds (the flip applies iff vulnerable).
+            if (!rng_.chance(config_.rates.bitLine))
+                return;
+            LineState& ns = state(n_addr);
+            if (ns.physical.getBit(pos) || isHardCell(ns, pos))
+                return;
+            ns.physical.setBit(pos, true);
+            outcome.blErrors += 1;
+            stats_.blDisturbances += 1;
+            if (upper)
+                plan.blHitsUpper += 1;
+            else
+                plan.blHitsLower += 1;
+        };
+
+        if (auto upper = map_.upperNeighbor(addr))
+            probe_bl(*upper, true);
+        if (auto lower = map_.lowerNeighbor(addr))
+            probe_bl(*lower, false);
+    }
+}
+
+PcmDevice::RoundPeek
+PcmDevice::peekNextRound(const WritePlan& plan) const
+{
+    RoundPeek peek;
+    if (!plan.roundsRemaining())
+        return peek;
+    peek.valid = true;
+    peek.isReset = plan.rounds[plan.nextRound].isReset;
+    peek.latency = peek.isReset ? config_.timing.resetCycles
+                                : config_.timing.setCycles;
+    return peek;
+}
+
+bool
+PcmDevice::applyNextRound(WritePlan& plan, RoundOutcome& outcome)
+{
+    outcome = RoundOutcome();
+    if (!plan.roundsRemaining())
+        return false;
+
+    LineState& ls = state(plan.addr);
+    const ProgramRound& round = plan.rounds[plan.nextRound];
+    plan.nextRound += 1;
+    const bool is_reset = round.isReset;
+
+    outcome.isReset = is_reset;
+    outcome.latency = is_reset ? config_.timing.resetCycles
+                               : config_.timing.setCycles;
+
+    unsigned programmed = 0;
+    std::vector<unsigned> reset_cells;
+    forEachSetBit(round.mask, [&](unsigned pos) {
+        ls.physical.setBit(pos, !is_reset);
+        ++programmed;
+        if (is_reset)
+            reset_cells.push_back(pos);
+    });
+
+    stats_.dataCellWrites += programmed;
+    if (plan.isCorrection)
+        stats_.correctionCellWrites += programmed;
+    else
+        stats_.normalCellWrites += programmed;
+
+    // Only RESET pulses disseminate enough heat to disturb (SET current is
+    // about half, i.e. ~4x lower temperature rise; Section 2.2.1).
+    for (const unsigned pos : reset_cells)
+        injectDisturbance(plan.addr, pos, plan, outcome);
+    return true;
+}
+
+PcmDevice::FinishOutcome
+PcmDevice::finishWrite(WritePlan& plan)
+{
+    SDPCM_ASSERT(!plan.roundsRemaining(),
+                 "finishWrite with rounds still pending");
+    FinishOutcome out;
+
+    // DIN check-and-rewrite: the disturbances this write caused within its
+    // own device row are repaired as part of the write operation (the
+    // disturbed cells were idle '0' cells, so the repair is a RESET).
+    for (const unsigned key : plan.wlHits) {
+        const unsigned line = key >> 9;
+        const unsigned pos = key & 511;
+        LineAddr fix_addr{plan.addr.bank, plan.addr.row, line};
+        LineState& fs = state(fix_addr);
+        if (fs.physical.getBit(pos)) {
+            fs.physical.setBit(pos, false);
+            out.wlErrorsFixed += 1;
+            stats_.dataCellWrites += 1;
+            stats_.correctionCellWrites += 1;
+        }
+    }
+
+    // Fetch after the loop above: state() lookups never insert here (the
+    // fixed lines were materialised when disturbed), but re-fetching keeps
+    // the reference safe against future changes.
+    LineState& ls = state(plan.addr);
+
+    if (!plan.isCorrection) {
+        ls.dinFlags = plan.targetFlags;
+        ls.writeCount += 1;
+        stats_.lineWrites += 1;
+        // Refresh stuck-cell intended values held in ECP.
+        for (const auto& [cell, stuck] : ls.hardCells) {
+            (void)stuck;
+            ls.ecp.updateHardValue(cell, plan.intendedPhysical.getBit(cell));
+        }
+        // Figure 4 bookkeeping (normal data writes only).
+        stats_.wlErrorsPerWrite.record(
+            static_cast<double>(plan.wlHits.size()));
+        stats_.blErrorsPerAdjacentLine.record(
+            static_cast<double>(plan.blHitsUpper));
+        stats_.blErrorsPerAdjacentLine.record(
+            static_cast<double>(plan.blHitsLower));
+        stats_.blErrorHistogram.record(plan.blHitsUpper);
+        stats_.blErrorHistogram.record(plan.blHitsLower);
+    } else {
+        stats_.correctionWrites += 1;
+    }
+
+    // Any write to the line leaves its data cells correct, so the parked
+    // WD entries are released (LazyCorrection consolidation).
+    const unsigned released = ls.ecp.clearWd();
+    out.ecpWdReleased = released;
+    stats_.ecpWdReleased += released;
+
+    // Wear accounting for the (disturbance-free) ECP chip.
+    const auto& entries = ls.ecp.entries();
+    for (std::size_t slot = 0; slot < ls.ecp.capacity(); ++slot) {
+        const std::uint16_t image = slot < entries.size()
+            ? packEcpEntry(entries[slot]) : 0;
+        chargeEcpEntryWrite(ls, slot, image);
+    }
+    return out;
+}
+
+std::vector<unsigned>
+PcmDevice::verifyLine(const LineAddr& addr, const LineData& expected)
+{
+    const LineData current = readLine(addr);
+    std::vector<unsigned> errors;
+    const LineData delta = current.diff(expected);
+    forEachSetBit(delta, [&](unsigned pos) { errors.push_back(pos); });
+    return errors;
+}
+
+bool
+PcmDevice::recordWdInEcp(const LineAddr& addr,
+                         const std::vector<unsigned>& cells)
+{
+    LineState& ls = state(addr);
+    bool all_fit = true;
+    for (const unsigned pos : cells) {
+        SDPCM_ASSERT(pos < kLineBits, "ECP cell out of range");
+        if (ls.ecp.recordWd(pos))
+            stats_.ecpWdRecorded += 1;
+        else
+            all_fit = false;
+    }
+    const auto& entries = ls.ecp.entries();
+    for (std::size_t slot = 0; slot < ls.ecp.capacity(); ++slot) {
+        const std::uint16_t image = slot < entries.size()
+            ? packEcpEntry(entries[slot]) : 0;
+        chargeEcpEntryWrite(ls, slot, image);
+    }
+    return all_fit;
+}
+
+unsigned
+PcmDevice::ecpUsed(const LineAddr& addr)
+{
+    LineState& ls = state(addr);
+    return static_cast<unsigned>(ls.ecp.entries().size());
+}
+
+unsigned
+PcmDevice::ecpFree(const LineAddr& addr)
+{
+    return state(addr).ecp.freeEntries();
+}
+
+std::vector<unsigned>
+PcmDevice::ecpWdCells(const LineAddr& addr)
+{
+    LineState& ls = state(addr);
+    std::vector<unsigned> cells;
+    for (const auto& e : ls.ecp.entries()) {
+        if (!e.hard)
+            cells.push_back(e.cell);
+    }
+    return cells;
+}
+
+std::size_t
+PcmDevice::touchedLines() const
+{
+    std::size_t n = 0;
+    for (const auto& bank : banks_)
+        n += bank.size();
+    return n;
+}
+
+void
+PcmDevice::chargeEcpEntryWrite(LineState& ls, std::size_t slot,
+                               std::uint16_t new_image)
+{
+    if (ls.ecpSlotImage.size() < ls.ecp.capacity())
+        ls.ecpSlotImage.resize(ls.ecp.capacity(), 0);
+    const std::uint16_t old_image = ls.ecpSlotImage[slot];
+    if (old_image == new_image)
+        return;
+    stats_.ecpBitsWritten += static_cast<unsigned>(
+        popcount64(static_cast<std::uint64_t>(old_image ^ new_image)));
+    ls.ecpSlotImage[slot] = new_image;
+}
+
+} // namespace sdpcm

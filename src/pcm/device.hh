@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Functional + fault model of the super dense PCM DIMM.
+ *
+ * The device stores physical cell states for every touched line (lines are
+ * materialised on first access with deterministic pseudo-random content),
+ * applies DIN encoding on the write path, injects thermal write
+ * disturbance into word-line and bit-line neighbours of every RESET pulse,
+ * maintains per-line ECP metadata (hard errors + LazyCorrection WD
+ * parking) and tracks wear for the lifetime studies.
+ *
+ * Timing is the memory controller's job: the device exposes writes as a
+ * sequence of <=128-cell program rounds so the controller can charge each
+ * round's bank occupancy and support mid-write cancellation; a cancelled
+ * write simply stops applying rounds, leaving the partially-programmed
+ * state (and any disturbance already caused) in place, exactly the
+ * behaviour Section 6.8 attributes to write cancellation in SD-PCM.
+ */
+
+#ifndef SDPCM_PCM_DEVICE_HH
+#define SDPCM_PCM_DEVICE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "encoding/diffwrite.hh"
+#include "encoding/din.hh"
+#include "pcm/address.hh"
+#include "pcm/ecp.hh"
+#include "pcm/geometry.hh"
+#include "pcm/line.hh"
+#include "pcm/timing.hh"
+
+namespace sdpcm {
+
+/** Per-direction disturbance probabilities (per RESET, vulnerable cell). */
+struct WdRates
+{
+    double wordLine = 0.099; //!< Table 1, 4F^2 word-line neighbour
+    double bitLine = 0.115;  //!< Table 1, 4F^2 bit-line neighbour
+};
+
+/** Endurance / aging model parameters (Figure 14). */
+struct AgingConfig
+{
+    /** Fraction of DIMM lifetime already consumed, in [0, 1]. */
+    double ageFraction = 0.0;
+    /** Mean hard errors per line when the DIMM reaches end of life. */
+    double meanHardPerLineAtEol = 2.0;
+    /** Wear-out acceleration exponent (errors ~ mean * age^exponent). */
+    double exponent = 3.0;
+};
+
+/** Device configuration. */
+struct DeviceConfig
+{
+    DimmGeometry geometry;
+    PcmTiming timing;
+    WdRates rates;          //!< set bitLine = 0 for the 8F^2 DIN design
+    unsigned ecpEntries = 6;
+    bool dinEnabled = true;
+    DinConfig din;
+    AgingConfig aging;
+    std::uint64_t seed = 1;
+};
+
+/** Aggregate device statistics. */
+struct DeviceStats
+{
+    std::uint64_t lineReads = 0;
+    std::uint64_t lineWrites = 0;       //!< completed normal writes
+    std::uint64_t correctionWrites = 0; //!< completed correction writes
+
+    std::uint64_t dataCellWrites = 0;       //!< all programmed cells
+    std::uint64_t normalCellWrites = 0;     //!< from normal writes
+    std::uint64_t correctionCellWrites = 0; //!< from corrections + WL fixes
+
+    std::uint64_t wlDisturbances = 0; //!< word-line WD errors injected
+    std::uint64_t blDisturbances = 0; //!< bit-line WD errors injected
+
+    std::uint64_t ecpWdRecorded = 0;  //!< WD errors parked in ECP
+    std::uint64_t ecpBitsWritten = 0; //!< differential cell writes, ECP chip
+    std::uint64_t ecpWdReleased = 0;  //!< WD entries cleared by writes
+    std::uint64_t hardErrors = 0;     //!< stuck-at cells materialised
+    std::uint64_t ecpSaturatedLines = 0; //!< hard errors exceeding ECP-N
+
+    /** Figure 4(a): WD errors within the written word-line, per write. */
+    RunningStat wlErrorsPerWrite;
+    /** Figure 4(b): WD errors per adjacent line, per write. */
+    RunningStat blErrorsPerAdjacentLine;
+    Histogram blErrorHistogram{16};
+};
+
+/** The PCM DIMM functional model. */
+class PcmDevice
+{
+  public:
+    explicit PcmDevice(const DeviceConfig& config);
+
+    const DeviceConfig& config() const { return config_; }
+    const AddressMap& addressMap() const { return map_; }
+
+    /** Override disturbance rates at runtime (tests, aging studies). */
+    void
+    setRates(const WdRates& rates)
+    {
+        config_.rates = rates;
+    }
+    DeviceStats& stats() { return stats_; }
+    const DeviceStats& stats() const { return stats_; }
+
+    /** Logical read: raw cells + ECP overlay + DIN decode. */
+    LineData readLine(const LineAddr& addr);
+
+    /**
+     * Functional backdoor read (no statistics): used by the workload layer
+     * to synthesise write payloads with a controlled bit-flip density.
+     */
+    LineData peekLine(const LineAddr& addr);
+
+    /**
+     * An in-flight write, broken into program rounds.
+     *
+     * For a normal write the target is the DIN encoding of the new logical
+     * data against current cell states; for a correction write the target
+     * RESETs the named disturbed cells.
+     */
+    /** One program pulse group: <=parallelism cells of one kind. */
+    struct ProgramRound
+    {
+        LineData mask;       //!< cells this round programs
+        bool isReset = false;
+    };
+
+    struct WritePlan
+    {
+        LineAddr addr;
+        LineData targetPhysical;  //!< desired cell states (stuck cells excl.)
+        LineData intendedPhysical; //!< target before stuck-cell masking
+        std::uint64_t targetFlags = 0;
+        WriteMasks masks;          //!< full program masks (diagnostics)
+        LineData writtenMask;      //!< all cells this write programs
+        std::vector<ProgramRound> rounds;
+        std::size_t nextRound = 0;
+        bool isCorrection = false;
+        // Disturbance bookkeeping for this write.
+        std::vector<unsigned> wlHits;   //!< in-row disturbed cell keys
+        unsigned blHitsUpper = 0;
+        unsigned blHitsLower = 0;
+
+        bool
+        roundsRemaining() const
+        {
+            return nextRound < rounds.size();
+        }
+
+        unsigned
+        totalRounds() const
+        {
+            return static_cast<unsigned>(rounds.size());
+        }
+    };
+
+    /** Plan a normal write of logical data. */
+    WritePlan planWrite(const LineAddr& addr, const LineData& new_logical);
+
+    /** Plan a correction write RESETting the given disturbed cells. */
+    WritePlan planCorrection(const LineAddr& addr,
+                             const std::vector<unsigned>& cells);
+
+    /** Outcome of one program round. */
+    struct RoundOutcome
+    {
+        bool isReset = false;
+        Tick latency = 0;
+        unsigned wlErrors = 0; //!< in-row disturbances injected
+        unsigned blErrors = 0; //!< adjacent-row disturbances injected
+    };
+
+    /** Timing preview of the next pending round (no state change). */
+    struct RoundPeek
+    {
+        bool valid = false;
+        bool isReset = false;
+        Tick latency = 0;
+    };
+
+    /**
+     * Inspect the next pending round without applying it; the controller
+     * charges the latency first and applies effects at completion, which
+     * is what makes mid-operation write cancellation clean.
+     */
+    RoundPeek peekNextRound(const WritePlan& plan) const;
+
+    /**
+     * Apply the next pending round (RESET rounds first, then SET rounds).
+     * @return false if the plan is already complete.
+     */
+    bool applyNextRound(WritePlan& plan, RoundOutcome& outcome);
+
+    /** Result of completing a write. */
+    struct FinishOutcome
+    {
+        unsigned wlErrorsFixed = 0;   //!< DIN check-and-rewrite repairs
+        unsigned ecpWdReleased = 0;   //!< WD entries absorbed by the write
+    };
+
+    /**
+     * Complete a write whose rounds have all been applied: repair the
+     * word-line disturbances this write caused inside its own row (the DIN
+     * check-and-rewrite step), commit flag bits, refresh stuck-cell ECP
+     * values, and release the line's parked WD entries.
+     */
+    FinishOutcome finishWrite(WritePlan& plan);
+
+    /**
+     * Compare the line's current logical content against `expected` and
+     * return the positions that differ (the disturbed cells).
+     */
+    std::vector<unsigned> verifyLine(const LineAddr& addr,
+                                     const LineData& expected);
+
+    /**
+     * LazyCorrection: try to park the given disturbed cells in the line's
+     * free ECP entries.
+     * @return true if all cells are now covered; false on overflow (no
+     *         entries were consumed beyond those that fit).
+     */
+    bool recordWdInEcp(const LineAddr& addr,
+                       const std::vector<unsigned>& cells);
+
+    /** ECP occupancy of a line (X in the X+Y<=N test). */
+    unsigned ecpUsed(const LineAddr& addr);
+    unsigned ecpFree(const LineAddr& addr);
+
+    /** Cells currently parked as WD entries in the line's ECP table. */
+    std::vector<unsigned> ecpWdCells(const LineAddr& addr);
+
+    /** Number of distinct lines materialised (test/diagnostic hook). */
+    std::size_t touchedLines() const;
+
+  private:
+    struct LineState
+    {
+        LineData physical;
+        std::uint64_t dinFlags = 0;
+        EcpLine ecp;
+        /** Stuck-at cells: (position, stuck value). */
+        std::vector<std::pair<std::uint16_t, bool>> hardCells;
+        /** Last content written to each ECP entry slot (wear model). */
+        std::vector<std::uint16_t> ecpSlotImage;
+        std::uint32_t writeCount = 0;
+    };
+
+    LineState& state(const LineAddr& addr);
+    std::uint64_t lineKey(const LineAddr& addr) const;
+
+    /** Decompose a plan's program masks into driver rounds. */
+    void buildRounds(WritePlan& plan);
+
+    bool isHardCell(const LineState& ls, unsigned pos) const;
+
+    /** Inject WD for one applied RESET at (addr, pos). */
+    void injectDisturbance(const LineAddr& addr, unsigned pos,
+                           WritePlan& plan, RoundOutcome& outcome);
+
+    /** Charge differential bit writes for an ECP entry update. */
+    void chargeEcpEntryWrite(LineState& ls, std::size_t slot,
+                             std::uint16_t new_image);
+
+    DeviceConfig config_;
+    AddressMap map_;
+    DinEncoder din_;
+    Rng rng_;
+    DeviceStats stats_;
+    double hardErrorMean_;
+
+    /** Per-bank sparse line stores; key = row * linesPerRow + line. */
+    std::vector<std::unordered_map<std::uint64_t, LineState>> banks_;
+};
+
+} // namespace sdpcm
+
+#endif // SDPCM_PCM_DEVICE_HH

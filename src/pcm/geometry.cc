@@ -1,0 +1,64 @@
+#include "pcm/geometry.hh"
+
+#include "common/logging.hh"
+
+namespace sdpcm {
+
+namespace {
+
+// One "area unit" is the cell-array area of one super dense data chip,
+// normalised so it holds 0.5GB at 4F^2 density (8 units -> 4GB).
+constexpr double kDensity4F2GBPerUnit = 0.5;
+
+// SD-PCM: 8 data arrays (4F^2) + one double-size low-density ECP array
+// -> data gets 8/10 of the total array area. DIN: 9 equal arrays (8F^2
+// data + ECP) -> data gets 8/9 of the area at half the bit density.
+constexpr double kSdDataAreaFraction = 8.0 / 10.0;
+constexpr double kDinDataAreaFraction = 8.0 / 9.0;
+
+} // namespace
+
+double
+DensityAnalysis::sdCapacityGB(double total_area_units) const
+{
+    return total_area_units * kSdDataAreaFraction * kDensity4F2GBPerUnit;
+}
+
+double
+DensityAnalysis::dinCapacityGB(double total_area_units) const
+{
+    return total_area_units * kDinDataAreaFraction *
+        (kDensity4F2GBPerUnit / 2.0);
+}
+
+double
+DensityAnalysis::capacityImprovement() const
+{
+    const double sd = sdCapacityGB();
+    const double din = dinCapacityGB();
+    return (sd - din) / din;
+}
+
+double
+DensityAnalysis::chipCountReductionEqualChips() const
+{
+    // 4GB memory from equal-size chips: DIN 16 data + 2 ECP; SD-PCM
+    // 8 data + 2 ECP where each SD ECP chip carries a double-size cell
+    // array (the array is cellArrayAreaFraction of the chip area).
+    const double ecp_chip_area =
+        cellArrayAreaFraction * 2.0 + (1.0 - cellArrayAreaFraction);
+    const double din_area = 16.0 + 2.0;
+    const double sd_area = 8.0 + 2.0 * ecp_chip_area;
+    return 1.0 - sd_area / din_area;
+}
+
+double
+DensityAnalysis::chipSizeReductionBigChips() const
+{
+    // DIN: 8+1 big chips. SD-PCM: 8 small chips (half-size cell array)
+    // + 1 big ECP chip. Small chip area = 1 - fraction/2.
+    const double small_chip = 1.0 - cellArrayAreaFraction / 2.0;
+    return 1.0 - (small_chip * 8.0 + 1.0) / (8.0 + 1.0);
+}
+
+} // namespace sdpcm

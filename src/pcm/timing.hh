@@ -1,0 +1,70 @@
+/**
+ * @file
+ * PCM timing model (Table 2).
+ *
+ * Latencies are expressed in CPU cycles at 4GHz: array read 100ns (400
+ * cycles), SET 200ns (800), RESET 100ns (400). Power and write-driver
+ * limits cap parallel programming at 128 SLC cells; a differential write
+ * therefore issues ceil(RESETs/128) RESET rounds followed by
+ * ceil(SETs/128) SET rounds, each round occupying the bank for the
+ * corresponding pulse latency.
+ */
+
+#ifndef SDPCM_PCM_TIMING_HH
+#define SDPCM_PCM_TIMING_HH
+
+#include <cstdint>
+
+#include "common/bitops.hh"
+
+namespace sdpcm {
+
+/** Simulation time in CPU cycles. */
+using Tick = std::uint64_t;
+
+/** PCM device timing parameters. */
+struct PcmTiming
+{
+    Tick readCycles = 400;   //!< 100ns array read
+    Tick setCycles = 800;    //!< 200ns SET pulse
+    Tick resetCycles = 400;  //!< 100ns RESET pulse
+    unsigned writeParallelism = 128; //!< cells programmed per round
+
+    /**
+     * Write-driver organisation. `windowed` models fixed per-position
+     * drivers: the 512-cell line is divided into 512/parallelism fixed
+     * windows and every window containing changed cells pays its own
+     * RESET and/or SET pulse (a typical differential write scatters
+     * changes over all windows). When false, drivers are position-
+     * agnostic and rounds are ceil(changed/parallelism) (pooled mode,
+     * used by the ablation study).
+     */
+    bool windowed = true;
+
+    /** Number of RESET rounds for a given count of cells to RESET. */
+    unsigned
+    resetRounds(unsigned reset_cells) const
+    {
+        return static_cast<unsigned>(
+            ceilDiv(reset_cells, writeParallelism));
+    }
+
+    /** Number of SET rounds for a given count of cells to SET. */
+    unsigned
+    setRounds(unsigned set_cells) const
+    {
+        return static_cast<unsigned>(ceilDiv(set_cells, writeParallelism));
+    }
+
+    /** Total bank-occupancy of a differential write. */
+    Tick
+    writeLatency(unsigned reset_cells, unsigned set_cells) const
+    {
+        return resetRounds(reset_cells) * resetCycles +
+               setRounds(set_cells) * setCycles;
+    }
+};
+
+} // namespace sdpcm
+
+#endif // SDPCM_PCM_TIMING_HH

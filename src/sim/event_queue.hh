@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global queue orders callbacks by tick (CPU cycles at 4GHz);
+ * ties are broken by insertion order so runs are fully deterministic.
+ */
+
+#ifndef SDPCM_SIM_EVENT_QUEUE_HH
+#define SDPCM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "pcm/timing.hh"
+
+namespace sdpcm {
+
+/** Tick-ordered event queue. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule a callback at an absolute tick (>= now). */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        SDPCM_ASSERT(when >= now_, "scheduling into the past: ", when,
+                     " < ", now_);
+        heap_.push(Event{when, nextSeq_++, std::move(cb)});
+    }
+
+    /** Schedule a callback `delay` ticks from now. */
+    void
+    scheduleAfter(Tick delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    Tick now() const { return now_; }
+    bool empty() const { return heap_.empty(); }
+    std::uint64_t processed() const { return processed_; }
+
+    /** Pop and run the earliest event. @return false if queue is empty. */
+    bool
+    runNext()
+    {
+        if (heap_.empty())
+            return false;
+        // Move the callback out before popping: the callback may schedule
+        // new events.
+        Event ev = std::move(const_cast<Event&>(heap_.top()));
+        heap_.pop();
+        now_ = ev.when;
+        processed_ += 1;
+        ev.cb();
+        return true;
+    }
+
+    /** Run until the queue drains or `max_ticks` is reached. */
+    void
+    run(Tick max_ticks = ~Tick(0))
+    {
+        while (!heap_.empty() && heap_.top().when <= max_ticks)
+            runNext();
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event& other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace sdpcm
+
+#endif // SDPCM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,70 @@
+#include "sim/runner.hh"
+
+#include <cmath>
+
+namespace sdpcm {
+
+double
+geomean(const std::vector<double>& values)
+{
+    double log_sum = 0.0;
+    std::size_t n = 0;
+    for (const double v : values) {
+        if (v <= 0.0)
+            continue;
+        log_sum += std::log(v);
+        n += 1;
+    }
+    return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
+}
+
+RunMetrics
+runOne(const SchemeConfig& scheme, const WorkloadSpec& workload,
+       const RunnerConfig& cfg)
+{
+    SystemConfig sc;
+    sc.scheme = scheme;
+    sc.aging = cfg.aging;
+    sc.din = cfg.din;
+    sc.timing = cfg.timing;
+    sc.cores = cfg.cores;
+    sc.refsPerCore = cfg.refsPerCore;
+    sc.seed = cfg.seed;
+    sc.maxTicks = cfg.maxTicks;
+    System system(sc, workload);
+    system.run();
+    return system.metrics();
+}
+
+SchemeResults
+runScheme(const SchemeConfig& scheme,
+          const std::vector<WorkloadSpec>& workloads,
+          const RunnerConfig& cfg)
+{
+    SchemeResults results;
+    results.scheme = scheme.name;
+    for (const auto& workload : workloads)
+        results.byWorkload.emplace(workload.name,
+                                   runOne(scheme, workload, cfg));
+    return results;
+}
+
+std::map<std::string, double>
+speedups(const SchemeResults& base, const SchemeResults& tech)
+{
+    std::map<std::string, double> out;
+    std::vector<double> all;
+    for (const auto& [name, base_metrics] : base.byWorkload) {
+        const auto it = tech.byWorkload.find(name);
+        if (it == tech.byWorkload.end())
+            continue;
+        const double s = it->second.meanCpi > 0.0
+            ? base_metrics.meanCpi / it->second.meanCpi : 0.0;
+        out[name] = s;
+        all.push_back(s);
+    }
+    out["gmean"] = geomean(all);
+    return out;
+}
+
+} // namespace sdpcm

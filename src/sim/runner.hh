@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Experiment harness shared by the bench binaries: run a set of schemes
+ * over the Table 3 workloads and aggregate speedups the way the paper's
+ * evaluation does (per-workload CPI ratios, geometric mean across
+ * workloads).
+ */
+
+#ifndef SDPCM_SIM_RUNNER_HH
+#define SDPCM_SIM_RUNNER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace sdpcm {
+
+/** Geometric mean of a series (zeros are skipped). */
+double geomean(const std::vector<double>& values);
+
+/** Common knobs for a batch of experiment runs. */
+struct RunnerConfig
+{
+    std::uint64_t refsPerCore = 50000;
+    std::uint64_t seed = 1;
+    unsigned cores = 8;
+    AgingConfig aging;
+    DinConfig din;     //!< encoder knobs (ablation studies)
+    PcmTiming timing;  //!< device timing knobs (ablation studies)
+    Tick maxTicks = ~Tick(0);
+};
+
+/** Run one (scheme, workload) pair and return its metrics. */
+RunMetrics runOne(const SchemeConfig& scheme, const WorkloadSpec& workload,
+                  const RunnerConfig& cfg);
+
+/** Results of a scheme across all workloads, keyed by workload name. */
+struct SchemeResults
+{
+    std::string scheme;
+    std::map<std::string, RunMetrics> byWorkload;
+
+    const RunMetrics&
+    at(const std::string& workload) const
+    {
+        return byWorkload.at(workload);
+    }
+};
+
+/** Run a scheme over a workload list. */
+SchemeResults runScheme(const SchemeConfig& scheme,
+                        const std::vector<WorkloadSpec>& workloads,
+                        const RunnerConfig& cfg);
+
+/**
+ * Per-workload speedups of `tech` relative to `base`
+ * (CPI_base / CPI_tech), plus the geometric mean under key "gmean".
+ */
+std::map<std::string, double> speedups(const SchemeResults& base,
+                                       const SchemeResults& tech);
+
+} // namespace sdpcm
+
+#endif // SDPCM_SIM_RUNNER_HH

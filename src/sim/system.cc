@@ -1,0 +1,203 @@
+#include "sim/system.hh"
+
+#include "workload/generators.hh"
+
+namespace sdpcm {
+
+WorkloadSpec
+workloadFromProfile(const std::string& profile_name)
+{
+    WorkloadSpec spec;
+    spec.name = profile_name;
+    if (profile_name == "stream") {
+        spec.makeStream = [](unsigned core, std::uint64_t seed) {
+            const auto& p = profileByName("stream");
+            return std::make_unique<StreamTraceGenerator>(
+                p.footprintBytes / 3, p.apki(),
+                seed ^ (0x517eadULL + core));
+        };
+        return spec;
+    }
+    spec.makeStream = [profile_name](unsigned core, std::uint64_t seed) {
+        return std::make_unique<SyntheticTraceGenerator>(
+            profileByName(profile_name), seed ^ (0x9e3779b9ULL * (core + 1)));
+    };
+    return spec;
+}
+
+std::vector<WorkloadSpec>
+standardWorkloads()
+{
+    std::vector<WorkloadSpec> specs;
+    for (const auto& profile : table3Profiles())
+        specs.push_back(workloadFromProfile(profile.name));
+    return specs;
+}
+
+WdRates
+System::ratesFor(const SchemeConfig& scheme, const ThermalConfig& thermal)
+{
+    const WdModel model(thermal);
+    const CellLayout layout =
+        scheme.superDense ? kLayoutSuperDense : kLayoutDin;
+    WdRates rates;
+    rates.wordLine = model.wordLineErrorRate(layout);
+    rates.bitLine = model.bitLineErrorRate(layout);
+    return rates;
+}
+
+System::System(const SystemConfig& config, const WorkloadSpec& workload)
+    : config_(config),
+      workload_(workload),
+      wdModel_(config.thermal)
+{
+    DeviceConfig dc;
+    dc.geometry = config_.geometry;
+    dc.timing = config_.timing;
+    dc.rates = ratesFor(config_.scheme, config_.thermal);
+    dc.ecpEntries = config_.scheme.ecpEntries;
+    dc.dinEnabled = true; // DIN encoding is used by all compared schemes
+    dc.din = config_.din;
+    dc.aging = config_.aging;
+    dc.seed = config_.seed;
+    device_ = std::make_unique<PcmDevice>(dc);
+
+    ctrl_ = std::make_unique<MemoryController>(events_, *device_,
+                                               config_.scheme,
+                                               config_.seed);
+    allocator_ = std::make_unique<PageAllocatorSystem>(config_.geometry);
+
+    for (unsigned c = 0; c < config_.cores; ++c) {
+        mmus_.push_back(std::make_unique<Mmu>(
+            *allocator_, config_.scheme.defaultTag,
+            config_.geometry.rowBytes, config_.tlbEntries));
+        streams_.push_back(workload_.makeStream(c, config_.seed));
+        cores_.push_back(std::make_unique<TraceCore>(
+            c, events_, *ctrl_, *mmus_[c], *streams_[c],
+            config_.refsPerCore, config_.scheme.tlbMissCycles));
+    }
+}
+
+void
+System::run()
+{
+    for (auto& core : cores_)
+        core->start();
+    events_.run(config_.maxTicks);
+
+    // With the drain-on-full policy a never-filled queue legitimately
+    // retains buffered writes at the end of the run; anything beyond one
+    // queue's worth per bank indicates a stall.
+    const std::uint64_t benign = static_cast<std::uint64_t>(
+        config_.scheme.writeQueueEntries) * config_.geometry.banks();
+    if (ctrl_->pendingWrites() > benign) {
+        SDPCM_WARN("simulation ended with ", ctrl_->pendingWrites(),
+                   " writes pending");
+    }
+    for (const auto& core : cores_) {
+        if (!core->done())
+            SDPCM_WARN("core did not finish its trace (tick limit?)");
+    }
+}
+
+StatSnapshot
+RunMetrics::toSnapshot() const
+{
+    StatSnapshot s;
+    s.set("sim.finalTick", static_cast<double>(finalTick));
+    s.set("sim.meanCpi", meanCpi);
+    for (std::size_t c = 0; c < coreCpi.size(); ++c)
+        s.set("core" + std::to_string(c) + ".cpi", coreCpi[c]);
+
+    s.set("device.lineReads", static_cast<double>(device.lineReads));
+    s.set("device.lineWrites", static_cast<double>(device.lineWrites));
+    s.set("device.correctionWrites",
+          static_cast<double>(device.correctionWrites));
+    s.set("device.dataCellWrites",
+          static_cast<double>(device.dataCellWrites));
+    s.set("device.normalCellWrites",
+          static_cast<double>(device.normalCellWrites));
+    s.set("device.correctionCellWrites",
+          static_cast<double>(device.correctionCellWrites));
+    s.set("device.wlDisturbances",
+          static_cast<double>(device.wlDisturbances));
+    s.set("device.blDisturbances",
+          static_cast<double>(device.blDisturbances));
+    s.set("device.ecpWdRecorded",
+          static_cast<double>(device.ecpWdRecorded));
+    s.set("device.ecpBitsWritten",
+          static_cast<double>(device.ecpBitsWritten));
+    s.set("device.ecpWdReleased",
+          static_cast<double>(device.ecpWdReleased));
+    s.set("device.hardErrors", static_cast<double>(device.hardErrors));
+    s.set("device.wlErrorsPerWrite.mean", device.wlErrorsPerWrite.mean());
+    s.set("device.wlErrorsPerWrite.max", device.wlErrorsPerWrite.max());
+    s.set("device.blErrorsPerAdjacentLine.mean",
+          device.blErrorsPerAdjacentLine.mean());
+    s.set("device.blErrorsPerAdjacentLine.max",
+          device.blErrorsPerAdjacentLine.max());
+
+    s.set("ctrl.readsServiced", static_cast<double>(ctrl.readsServiced));
+    s.set("ctrl.readsForwarded",
+          static_cast<double>(ctrl.readsForwarded));
+    s.set("ctrl.writesAccepted",
+          static_cast<double>(ctrl.writesAccepted));
+    s.set("ctrl.writesCoalesced",
+          static_cast<double>(ctrl.writesCoalesced));
+    s.set("ctrl.writesCompleted",
+          static_cast<double>(ctrl.writesCompleted));
+    s.set("ctrl.writeDrains", static_cast<double>(ctrl.writeDrains));
+    s.set("ctrl.preReadsIssued",
+          static_cast<double>(ctrl.preReadsIssued));
+    s.set("ctrl.preReadsForwarded",
+          static_cast<double>(ctrl.preReadsForwarded));
+    s.set("ctrl.preReadsUseful",
+          static_cast<double>(ctrl.preReadsUseful));
+    s.set("ctrl.verifyReads", static_cast<double>(ctrl.verifyReads));
+    s.set("ctrl.adjacentsSkippedNm",
+          static_cast<double>(ctrl.adjacentsSkippedNm));
+    s.set("ctrl.ecpUpdates", static_cast<double>(ctrl.ecpUpdates));
+    s.set("ctrl.correctionWrites",
+          static_cast<double>(ctrl.correctionWrites));
+    s.set("ctrl.cascadeVerifies",
+          static_cast<double>(ctrl.cascadeVerifies));
+    s.set("ctrl.cascadeDropped",
+          static_cast<double>(ctrl.cascadeDropped));
+    s.set("ctrl.cascadeDepth.max", ctrl.cascadeDepth.max());
+    s.set("ctrl.writeCancellations",
+          static_cast<double>(ctrl.writeCancellations));
+    s.set("ctrl.readLatency.mean", ctrl.readLatency.mean());
+    s.set("ctrl.readLatency.max", ctrl.readLatency.max());
+    s.set("ctrl.writeServiceLatency.mean",
+          ctrl.writeServiceLatency.mean());
+    s.set("ctrl.cycles.read", static_cast<double>(ctrl.cyclesRead));
+    s.set("ctrl.cycles.preRead",
+          static_cast<double>(ctrl.cyclesPreRead));
+    s.set("ctrl.cycles.write", static_cast<double>(ctrl.cyclesWrite));
+    s.set("ctrl.cycles.verify", static_cast<double>(ctrl.cyclesVerify));
+    s.set("ctrl.cycles.correction",
+          static_cast<double>(ctrl.cyclesCorrection));
+    s.set("ctrl.cycles.ecp", static_cast<double>(ctrl.cyclesEcp));
+    s.set("derived.correctionsPerWrite", correctionsPerWrite());
+    return s;
+}
+
+RunMetrics
+System::metrics() const
+{
+    RunMetrics m;
+    m.workload = workload_.name;
+    m.scheme = config_.scheme.name;
+    double sum = 0.0;
+    for (const auto& core : cores_) {
+        m.coreCpi.push_back(core->cpi());
+        sum += core->cpi();
+    }
+    m.meanCpi = cores_.empty() ? 0.0 : sum / cores_.size();
+    m.finalTick = events_.now();
+    m.device = device_->stats();
+    m.ctrl = ctrl_->stats();
+    return m;
+}
+
+} // namespace sdpcm

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Full-system assembly: thermal model -> device -> controller -> MMUs ->
+ * cores, wired per Table 2, plus the run loop and metric extraction.
+ */
+
+#ifndef SDPCM_SIM_SYSTEM_HH
+#define SDPCM_SIM_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "controller/memctrl.hh"
+#include "cpu/core.hh"
+#include "os/buddy.hh"
+#include "os/page_table.hh"
+#include "pcm/device.hh"
+#include "sim/event_queue.hh"
+#include "thermal/wd_model.hh"
+#include "workload/trace.hh"
+
+namespace sdpcm {
+
+/** A workload: a factory of per-core trace streams. */
+struct WorkloadSpec
+{
+    std::string name;
+    std::function<std::unique_ptr<TraceStream>(unsigned core,
+                                               std::uint64_t seed)>
+        makeStream;
+};
+
+/** Build a WorkloadSpec where every core runs a copy of one profile. */
+WorkloadSpec workloadFromProfile(const std::string& profile_name);
+
+/** The 9 simulated applications of Table 3. */
+std::vector<WorkloadSpec> standardWorkloads();
+
+/** Top-level simulation parameters. */
+struct SystemConfig
+{
+    DimmGeometry geometry;
+    PcmTiming timing;
+    SchemeConfig scheme;
+    DinConfig din;
+    AgingConfig aging;
+    ThermalConfig thermal;
+    unsigned cores = 8;
+    std::uint64_t refsPerCore = 50000;
+    std::uint64_t seed = 1;
+    unsigned tlbEntries = 64;
+    Tick maxTicks = ~Tick(0);
+};
+
+/** Extracted results of one run. */
+struct RunMetrics
+{
+    std::string workload;
+    std::string scheme;
+    std::vector<double> coreCpi;
+    double meanCpi = 0.0;
+    Tick finalTick = 0;
+    DeviceStats device;
+    CtrlStats ctrl;
+
+    /** Correction writes per completed data write (Figure 12). */
+    double
+    correctionsPerWrite() const
+    {
+        if (ctrl.writesCompleted == 0)
+            return 0.0;
+        return static_cast<double>(ctrl.correctionWrites) /
+               static_cast<double>(ctrl.writesCompleted);
+    }
+
+    /** Speedup of this run against a baseline CPI. */
+    double
+    speedupOver(double base_cpi) const
+    {
+        return meanCpi > 0.0 ? base_cpi / meanCpi : 0.0;
+    }
+
+    /** Flatten every counter into a named snapshot (CLI/tooling). */
+    StatSnapshot toSnapshot() const;
+};
+
+/** One end-to-end simulation instance. */
+class System
+{
+  public:
+    System(const SystemConfig& config, const WorkloadSpec& workload);
+
+    /** Run to completion (all cores done, memory quiescent). */
+    void run();
+
+    RunMetrics metrics() const;
+
+    PcmDevice& device() { return *device_; }
+    MemoryController& controller() { return *ctrl_; }
+    PageAllocatorSystem& allocator() { return *allocator_; }
+    EventQueue& events() { return events_; }
+    const WdModel& wdModel() const { return wdModel_; }
+    const std::vector<std::unique_ptr<TraceCore>>& cores() const
+    {
+        return cores_;
+    }
+
+    /** Disturbance rates the thermal model yields for this scheme. */
+    static WdRates ratesFor(const SchemeConfig& scheme,
+                            const ThermalConfig& thermal);
+
+  private:
+    SystemConfig config_;
+    WorkloadSpec workload_;
+    WdModel wdModel_;
+    EventQueue events_;
+    std::unique_ptr<PcmDevice> device_;
+    std::unique_ptr<MemoryController> ctrl_;
+    std::unique_ptr<PageAllocatorSystem> allocator_;
+    std::vector<std::unique_ptr<Mmu>> mmus_;
+    std::vector<std::unique_ptr<TraceStream>> streams_;
+    std::vector<std::unique_ptr<TraceCore>> cores_;
+};
+
+} // namespace sdpcm
+
+#endif // SDPCM_SIM_SYSTEM_HH

@@ -1,0 +1,103 @@
+#include "thermal/wd_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sdpcm {
+
+namespace {
+
+constexpr double kKelvinOffset = 273.15;
+
+} // namespace
+
+WdModel::WdModel(const ThermalConfig& config)
+    : config_(config)
+{
+    SDPCM_ASSERT(config_.resetElevationC > config_.calibElevationGstC,
+                 "peak elevation must exceed calibration elevations");
+    SDPCM_ASSERT(config_.calibRateGst > config_.calibRateOxide,
+                 "bit-line calibration rate must exceed word-line rate");
+
+    // Fit the exponential decay so that a neighbour at the calibration
+    // distance sees exactly the published elevation for each material.
+    lambdaGstNm_ = config_.calibDistanceNm /
+        std::log(config_.resetElevationC / config_.calibElevationGstC);
+    lambdaOxideNm_ = config_.calibDistanceNm /
+        std::log(config_.resetElevationC / config_.calibElevationOxideC);
+
+    // Fit the Arrhenius law P(T) = A * exp(-B / T_K) through the two
+    // published (elevation, rate) points.
+    const double t1k =
+        config_.calibElevationOxideC + config_.ambientC + kKelvinOffset;
+    const double t2k =
+        config_.calibElevationGstC + config_.ambientC + kKelvinOffset;
+    arrheniusB_ = std::log(config_.calibRateGst / config_.calibRateOxide) /
+        (1.0 / t1k - 1.0 / t2k);
+    arrheniusA_ = config_.calibRateOxide * std::exp(arrheniusB_ / t1k);
+}
+
+double
+WdModel::neighborElevation(double distance_nm, Material material) const
+{
+    SDPCM_ASSERT(distance_nm >= 0.0, "negative inter-cell distance");
+    const double lambda = decayLengthNm(material);
+    return config_.resetElevationC * std::exp(-distance_nm / lambda);
+}
+
+double
+WdModel::errorRate(double elevation_c) const
+{
+    const double absolute_c = elevation_c + config_.ambientC;
+    if (absolute_c < config_.crystallizationC)
+        return 0.0;
+    if (absolute_c >= config_.meltingC)
+        return 1.0;
+    const double tk = absolute_c + kKelvinOffset;
+    const double rate = arrheniusA_ * std::exp(-arrheniusB_ / tk);
+    return rate > 1.0 ? 1.0 : rate;
+}
+
+double
+WdModel::wordLineErrorRate(const CellLayout& layout) const
+{
+    return wordLineErrorRateAt(layout, config_.featureNm);
+}
+
+double
+WdModel::bitLineErrorRate(const CellLayout& layout) const
+{
+    return bitLineErrorRateAt(layout, config_.featureNm);
+}
+
+double
+WdModel::wordLineErrorRateAt(const CellLayout& layout,
+                             double feature_nm) const
+{
+    return rateAtPitch(layout.wordLinePitchF, feature_nm, Material::Oxide);
+}
+
+double
+WdModel::bitLineErrorRateAt(const CellLayout& layout,
+                            double feature_nm) const
+{
+    return rateAtPitch(layout.bitLinePitchF, feature_nm, Material::GST);
+}
+
+double
+WdModel::decayLengthNm(Material material) const
+{
+    return material == Material::GST ? lambdaGstNm_ : lambdaOxideNm_;
+}
+
+double
+WdModel::rateAtPitch(double pitch_f, double feature_nm,
+                     Material material) const
+{
+    SDPCM_ASSERT(pitch_f >= 2.0, "pitch below the minimal 2F: ", pitch_f);
+    const double distance_nm = pitch_f * feature_nm;
+    return errorRate(neighborElevation(distance_nm, material));
+}
+
+} // namespace sdpcm

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Memory-reference trace abstraction.
+ *
+ * The paper drives its simulator with PIN-captured traces of main-memory
+ * references (post-cache, 10M per core). We substitute synthetic
+ * generators calibrated to the published per-benchmark RPKI/WPKI
+ * (Table 3); a trace record carries the instruction gap since the
+ * previous reference so the in-order core can account compute time.
+ */
+
+#ifndef SDPCM_WORKLOAD_TRACE_HH
+#define SDPCM_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+
+namespace sdpcm {
+
+/** One main-memory reference. */
+struct TraceRecord
+{
+    bool isWrite = false;
+    std::uint64_t vaddr = 0;   //!< virtual byte address (line aligned)
+    std::uint32_t gap = 0;     //!< instructions since the last reference
+    double flipDensity = 0.0;  //!< writes: fraction of line bits flipped
+};
+
+/** Pull-based reference stream. */
+class TraceStream
+{
+  public:
+    virtual ~TraceStream() = default;
+
+    /** Produce the next record; false when the trace is exhausted. */
+    virtual bool next(TraceRecord& record) = 0;
+};
+
+} // namespace sdpcm
+
+#endif // SDPCM_WORKLOAD_TRACE_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Trace capture and replay.
+ *
+ * The paper captured PIN traces once and replayed them across schemes;
+ * this pair of classes gives the same workflow: TraceFileWriter records
+ * any TraceStream to a text file (one record per line: `R|W vaddr gap
+ * flip_density`), and TraceFileStream replays it. Replaying a file
+ * guarantees every scheme sees the *identical* reference stream even
+ * across library versions.
+ */
+
+#ifndef SDPCM_WORKLOAD_TRACE_FILE_HH
+#define SDPCM_WORKLOAD_TRACE_FILE_HH
+
+#include <fstream>
+#include <string>
+
+#include "workload/trace.hh"
+
+namespace sdpcm {
+
+/** Write trace records to a text file. */
+class TraceFileWriter
+{
+  public:
+    explicit TraceFileWriter(const std::string& path);
+
+    /** Append one record. */
+    void write(const TraceRecord& record);
+
+    /** Capture `count` records from a stream. @return records written */
+    std::uint64_t capture(TraceStream& source, std::uint64_t count);
+
+    std::uint64_t recordsWritten() const { return records_; }
+
+  private:
+    std::ofstream out_;
+    std::uint64_t records_ = 0;
+};
+
+/** Replay a trace file as a TraceStream. */
+class TraceFileStream : public TraceStream
+{
+  public:
+    explicit TraceFileStream(const std::string& path);
+
+    bool next(TraceRecord& record) override;
+
+    std::uint64_t recordsRead() const { return records_; }
+
+  private:
+    std::ifstream in_;
+    std::uint64_t records_ = 0;
+};
+
+} // namespace sdpcm
+
+#endif // SDPCM_WORKLOAD_TRACE_FILE_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the set-associative cache and the three-level hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/cache.hh"
+
+namespace sdpcm {
+namespace {
+
+CacheConfig
+tiny(unsigned ways = 2, std::uint64_t size = 1024)
+{
+    return CacheConfig{"tiny", size, ways, 64, 1};
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(tiny());
+    std::optional<Cache::Eviction> victim;
+    EXPECT_FALSE(c.access(0, false, victim));
+    EXPECT_TRUE(c.access(0, false, victim));
+    EXPECT_TRUE(c.access(63, false, victim)); // same line
+    EXPECT_FALSE(c.access(64, false, victim)); // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    // 2-way, 8 sets: addresses 0, 8*64, 16*64 map to set 0.
+    Cache c(tiny());
+    std::optional<Cache::Eviction> victim;
+    c.access(0, false, victim);
+    c.access(8 * 64, false, victim);
+    c.access(0, false, victim);        // 0 becomes MRU
+    c.access(16 * 64, false, victim);  // evicts 8*64
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->addr, 8u * 64u);
+    EXPECT_FALSE(victim->dirty);
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(8 * 64));
+}
+
+TEST(Cache, DirtyEvictionReported)
+{
+    Cache c(tiny());
+    std::optional<Cache::Eviction> victim;
+    c.access(0, true, victim); // dirty
+    c.access(8 * 64, false, victim);
+    c.access(16 * 64, false, victim); // evicts dirty line 0
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_TRUE(victim->dirty);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, InsertMergesDirtyBit)
+{
+    Cache c(tiny());
+    std::optional<Cache::Eviction> victim;
+    c.access(0, false, victim);
+    EXPECT_FALSE(c.insert(0, true).has_value());
+    c.access(8 * 64, false, victim);
+    c.access(16 * 64, false, victim);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_TRUE(victim->dirty); // dirty bit survived the insert-merge
+}
+
+TEST(Cache, Invalidate)
+{
+    Cache c(tiny());
+    std::optional<Cache::Eviction> victim;
+    c.access(0, true, victim);
+    auto dirty = c.invalidate(0);
+    ASSERT_TRUE(dirty.has_value());
+    EXPECT_TRUE(*dirty);
+    EXPECT_FALSE(c.probe(0));
+    EXPECT_FALSE(c.invalidate(0).has_value());
+}
+
+TEST(Hierarchy, Table2Shapes)
+{
+    auto h = CacheHierarchy::makeTable2();
+    EXPECT_EQ(h.l1().config().sizeBytes, 32u * 1024u);
+    EXPECT_EQ(h.l2().config().sizeBytes, 2u * 1024u * 1024u);
+    EXPECT_EQ(h.l3().config().sizeBytes, 32u * 1024u * 1024u);
+    EXPECT_EQ(h.l3().config().hitCycles, 200u); // 50ns at 4GHz
+}
+
+TEST(Hierarchy, FirstTouchMissesEverywhere)
+{
+    auto h = CacheHierarchy::makeTable2();
+    const auto r = h.access(0x1000, false);
+    EXPECT_EQ(r.hitLevel, 0u);
+    EXPECT_TRUE(r.memoryRead);
+    EXPECT_TRUE(r.memoryWrites.empty());
+}
+
+TEST(Hierarchy, SecondTouchHitsL1)
+{
+    auto h = CacheHierarchy::makeTable2();
+    h.access(0x1000, false);
+    const auto r = h.access(0x1000, false);
+    EXPECT_EQ(r.hitLevel, 1u);
+    EXPECT_FALSE(r.memoryRead);
+}
+
+TEST(Hierarchy, L1VictimHitsInL2)
+{
+    auto h = CacheHierarchy::makeTable2();
+    // L1 is 32KB/8-way/64B = 64 sets; lines k*64 collide in L1's set 0
+    // but land in distinct L2 sets (L2 has 8192 sets).
+    h.access(0, false);
+    for (unsigned k = 1; k <= 8; ++k)
+        h.access(k * 64 * 64, false); // evict line 0 from L1 only
+    const auto r = h.access(0, false);
+    EXPECT_EQ(r.hitLevel, 2u);
+}
+
+TEST(Hierarchy, DirtyDataEventuallyReachesMemory)
+{
+    // Stream enough dirty lines through to overflow all three levels.
+    auto h = CacheHierarchy::makeTable2();
+    std::uint64_t memory_writes = 0;
+    const std::uint64_t lines = (64ULL << 20) / 64; // 64MB worth
+    for (std::uint64_t i = 0; i < lines; ++i) {
+        const auto r = h.access(i * 64, true);
+        memory_writes += r.memoryWrites.size();
+    }
+    EXPECT_GT(memory_writes, 0u);
+}
+
+TEST(Hierarchy, CacheFiltersReuse)
+{
+    auto h = CacheHierarchy::makeTable2();
+    std::uint64_t memory_reads = 0;
+    for (int pass = 0; pass < 4; ++pass) {
+        for (std::uint64_t line = 0; line < 1024; ++line) {
+            const auto r = h.access(line * 64, false);
+            memory_reads += r.memoryRead ? 1 : 0;
+        }
+    }
+    // 64KB working set fits in L1+L2: one compulsory miss per line.
+    EXPECT_EQ(memory_reads, 1024u);
+}
+
+} // namespace
+} // namespace sdpcm

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for the common utilities: RNG, bit operations, statistics
+ * accumulators and the table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/args.hh"
+#include "common/bitops.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace sdpcm {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next64() == b.next64() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.below(13);
+        ASSERT_LT(v, 13u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 13u);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.chance(0.115) ? 1 : 0;
+    EXPECT_NEAR(hits / static_cast<double>(trials), 0.115, 0.005);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng rng(1);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(5);
+    const double p = 0.1;
+    double sum = 0.0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    // Mean of failures-before-success is (1-p)/p = 9.
+    EXPECT_NEAR(sum / trials, 9.0, 0.5);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(3);
+    double sum = 0.0, sq = 0.0;
+    const int trials = 50000;
+    for (int i = 0; i < trials; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / trials, 0.0, 0.03);
+    EXPECT_NEAR(sq / trials, 1.0, 0.05);
+}
+
+TEST(Bitops, PowersOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(12));
+    EXPECT_EQ(log2Exact(4096), 12u);
+    EXPECT_EQ(ceilPowerOfTwo(17), 32u);
+    EXPECT_EQ(ceilPowerOfTwo(32), 32u);
+}
+
+TEST(Bitops, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 128), 0u);
+    EXPECT_EQ(ceilDiv(1, 128), 1u);
+    EXPECT_EQ(ceilDiv(128, 128), 1u);
+    EXPECT_EQ(ceilDiv(129, 128), 2u);
+}
+
+TEST(Bitops, GetSetBit)
+{
+    std::uint64_t x = 0;
+    x = setBit(x, 5, true);
+    EXPECT_TRUE(getBit(x, 5));
+    x = setBit(x, 5, false);
+    EXPECT_FALSE(getBit(x, 5));
+    EXPECT_EQ(x, 0u);
+}
+
+TEST(RunningStat, Accumulates)
+{
+    RunningStat s;
+    s.record(1.0);
+    s.record(3.0);
+    s.record(2.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, Merge)
+{
+    RunningStat a, b;
+    a.record(1.0);
+    b.record(5.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+}
+
+TEST(Histogram, RecordsAndOverflows)
+{
+    Histogram h(4);
+    h.record(0);
+    h.record(2);
+    h.record(2);
+    h.record(9);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(h.tailFraction(2), 0.75);
+}
+
+TEST(StatSnapshot, RoundTrips)
+{
+    StatSnapshot s;
+    s.set("a.b", 1.5);
+    EXPECT_TRUE(s.has("a.b"));
+    EXPECT_FALSE(s.has("a.c"));
+    EXPECT_DOUBLE_EQ(s.get("a.b"), 1.5);
+}
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"x", TablePrinter::fmt(1.2345, 2)});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("1.23"), std::string::npos);
+}
+
+TEST(TablePrinter, PctFormat)
+{
+    EXPECT_EQ(TablePrinter::pct(0.115), "11.5%");
+    EXPECT_EQ(TablePrinter::pct(0.099), "9.9%");
+}
+
+TEST(ArgParser, ParsesKeyValueAndFlags)
+{
+    const char* argv[] = {"prog", "--refs=1000", "--verbose",
+                          "--ratio=0.5", "--name=mcf"};
+    ArgParser args(5, const_cast<char**>(argv));
+    EXPECT_EQ(args.getInt("refs", 0), 1000);
+    EXPECT_TRUE(args.getBool("verbose", false));
+    EXPECT_DOUBLE_EQ(args.getDouble("ratio", 0.0), 0.5);
+    EXPECT_EQ(args.getString("name", ""), "mcf");
+    EXPECT_EQ(args.getInt("missing", 7), 7);
+}
+
+} // namespace
+} // namespace sdpcm

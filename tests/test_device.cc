@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Tests for the PCM device model: functional reads/writes, the program-
+ * round decomposition, disturbance injection, ECP parking, corrections,
+ * stuck-at aging and the partial-write (cancellation) semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pcm/device.hh"
+
+namespace sdpcm {
+namespace {
+
+DeviceConfig
+quietConfig()
+{
+    DeviceConfig dc;
+    dc.rates = WdRates{0.0, 0.0};
+    dc.seed = 99;
+    return dc;
+}
+
+/** Drive a plan to completion. */
+PcmDevice::FinishOutcome
+runPlan(PcmDevice& dev, PcmDevice::WritePlan& plan)
+{
+    PcmDevice::RoundOutcome outcome;
+    while (dev.applyNextRound(plan, outcome)) {
+    }
+    return dev.finishWrite(plan);
+}
+
+TEST(Device, WriteThenReadRoundTrip)
+{
+    PcmDevice dev(quietConfig());
+    const LineAddr la{3, 100, 7};
+    const LineData data = LineData::randomFromKey(77);
+    auto plan = dev.planWrite(la, data);
+    runPlan(dev, plan);
+    EXPECT_EQ(dev.readLine(la), data);
+}
+
+TEST(Device, RoundTripWithoutDin)
+{
+    DeviceConfig dc = quietConfig();
+    dc.dinEnabled = false;
+    PcmDevice dev(dc);
+    const LineAddr la{0, 5, 0};
+    const LineData data = LineData::randomFromKey(3);
+    auto plan = dev.planWrite(la, data);
+    runPlan(dev, plan);
+    EXPECT_EQ(dev.readLine(la), data);
+}
+
+TEST(Device, PeekLineDoesNotCountReads)
+{
+    PcmDevice dev(quietConfig());
+    const LineAddr la{0, 1, 1};
+    dev.peekLine(la);
+    EXPECT_EQ(dev.stats().lineReads, 0u);
+    dev.readLine(la);
+    EXPECT_EQ(dev.stats().lineReads, 1u);
+}
+
+TEST(Device, WindowedRoundsCoverChangedWindowsOnly)
+{
+    DeviceConfig dc = quietConfig();
+    dc.dinEnabled = false; // make the physical target predictable
+    PcmDevice dev(dc);
+    const LineAddr la{1, 10, 0};
+    const LineData old = dev.peekLine(la);
+    LineData target = old;
+    target.flipBit(0);   // window 0
+    target.flipBit(300); // window 2
+    auto plan = dev.planWrite(la, target);
+    // Two windows touched, one cell each -> exactly two rounds.
+    EXPECT_EQ(plan.totalRounds(), 2u);
+}
+
+TEST(Device, PooledRoundsFollowCeilDiv)
+{
+    DeviceConfig dc = quietConfig();
+    dc.dinEnabled = false;
+    dc.timing.windowed = false;
+    PcmDevice dev(dc);
+    const LineAddr la{1, 11, 0};
+    const LineData old = dev.peekLine(la);
+    LineData target;
+    for (unsigned w = 0; w < kLineWords; ++w)
+        target.words[w] = ~old.words[w]; // flip all 512 cells
+    auto plan = dev.planWrite(la, target);
+    // 256-ish RESETs and SETs each -> ceil(n/128) rounds per kind.
+    unsigned reset_rounds = 0, set_rounds = 0;
+    for (const auto& r : plan.rounds)
+        (r.isReset ? reset_rounds : set_rounds) += 1;
+    EXPECT_EQ(reset_rounds,
+              (plan.masks.resetCount() + 127) / 128);
+    EXPECT_EQ(set_rounds, (plan.masks.setCount() + 127) / 128);
+}
+
+TEST(Device, BitLineDisturbanceHitsVulnerableCellsOnly)
+{
+    DeviceConfig dc = quietConfig();
+    dc.dinEnabled = false;
+    dc.rates.bitLine = 1.0; // every vulnerable neighbour flips
+    PcmDevice dev(dc);
+
+    const LineAddr la{2, 50, 9};
+    const LineAddr upper{2, 49, 9};
+    const LineAddr lower{2, 51, 9};
+    const LineData upper_before = dev.peekLine(upper);
+    const LineData lower_before = dev.peekLine(lower);
+    const LineData old = dev.peekLine(la);
+
+    LineData target = old;
+    target.flipBit(100);
+    target.flipBit(200);
+    auto plan = dev.planWrite(la, target);
+    runPlan(dev, plan);
+
+    // Only the columns that were RESET can disturb, and only if the
+    // neighbour cell held '0'.
+    std::set<unsigned> reset_cols;
+    forEachSetBit(plan.masks.resetMask,
+                  [&](unsigned pos) { reset_cols.insert(pos); });
+    for (const auto& [n_addr, before] :
+         {std::pair{upper, upper_before}, std::pair{lower,
+                                                    lower_before}}) {
+        const LineData after = dev.peekLine(n_addr);
+        forEachSetBit(after.diff(before), [&](unsigned pos) {
+            EXPECT_TRUE(reset_cols.count(pos));
+            EXPECT_FALSE(before.getBit(pos)); // was amorphous '0'
+            EXPECT_TRUE(after.getBit(pos));   // partially SET
+        });
+    }
+    EXPECT_EQ(dev.stats().blDisturbances,
+              dev.peekLine(upper).diff(upper_before).popcount() +
+                  dev.peekLine(lower).diff(lower_before).popcount());
+}
+
+TEST(Device, NoBitLineDisturbanceAtZeroRate)
+{
+    DeviceConfig dc = quietConfig();
+    PcmDevice dev(dc);
+    const LineAddr la{2, 50, 9};
+    const LineAddr upper{2, 49, 9};
+    const LineData before = dev.peekLine(upper);
+    auto plan = dev.planWrite(la, LineData::randomFromKey(5));
+    runPlan(dev, plan);
+    EXPECT_EQ(dev.peekLine(upper), before);
+    EXPECT_EQ(dev.stats().blDisturbances, 0u);
+}
+
+TEST(Device, VerifyDetectsInjectedErrors)
+{
+    DeviceConfig dc = quietConfig();
+    dc.dinEnabled = false;
+    dc.rates.bitLine = 1.0;
+    PcmDevice dev(dc);
+
+    const LineAddr la{4, 60, 0};
+    const LineAddr upper{4, 59, 0};
+    const LineData expected = dev.readLine(upper); // pre-write read
+
+    auto plan = dev.planWrite(la, LineData::randomFromKey(123));
+    runPlan(dev, plan);
+
+    const auto errors = dev.verifyLine(upper, expected);
+    EXPECT_EQ(static_cast<unsigned>(errors.size()), plan.blHitsUpper);
+}
+
+TEST(Device, CorrectionRestoresDisturbedLine)
+{
+    DeviceConfig dc = quietConfig();
+    dc.dinEnabled = false;
+    dc.rates.bitLine = 1.0;
+    PcmDevice dev(dc);
+
+    const LineAddr la{4, 61, 3};
+    const LineAddr lower{4, 62, 3};
+    const LineData expected = dev.readLine(lower);
+
+    auto plan = dev.planWrite(la, LineData::randomFromKey(321));
+    runPlan(dev, plan);
+    auto errors = dev.verifyLine(lower, expected);
+    ASSERT_FALSE(errors.empty());
+
+    dev.setRates(WdRates{0.0, 0.0}); // keep the correction clean
+    auto fix = dev.planCorrection(lower, errors);
+    EXPECT_TRUE(fix.isCorrection);
+    runPlan(dev, fix);
+    EXPECT_TRUE(dev.verifyLine(lower, expected).empty());
+    EXPECT_EQ(dev.stats().correctionWrites, 1u);
+}
+
+TEST(Device, EcpParkingMakesReadsCorrect)
+{
+    DeviceConfig dc = quietConfig();
+    dc.dinEnabled = false;
+    dc.rates.bitLine = 1.0;
+    dc.ecpEntries = 6;
+    PcmDevice dev(dc);
+
+    const LineAddr la{5, 70, 1};
+    const LineAddr upper{5, 69, 1};
+    const LineData expected = dev.readLine(upper);
+
+    LineData target = dev.peekLine(la);
+    target.flipBit(40); // at most 1 RESET -> at most 1 disturbance/side
+    auto plan = dev.planWrite(la, target);
+    runPlan(dev, plan);
+
+    auto errors = dev.verifyLine(upper, expected);
+    if (!errors.empty()) {
+        EXPECT_TRUE(dev.recordWdInEcp(upper, errors));
+        // The read path now overlays the parked corrections.
+        EXPECT_EQ(dev.readLine(upper), expected);
+        EXPECT_TRUE(dev.verifyLine(upper, expected).empty());
+        EXPECT_EQ(dev.stats().ecpWdRecorded, errors.size());
+    }
+}
+
+TEST(Device, EcpOverflowReportsFalse)
+{
+    DeviceConfig dc = quietConfig();
+    dc.ecpEntries = 2;
+    PcmDevice dev(dc);
+    const LineAddr la{0, 7, 0};
+    EXPECT_FALSE(dev.recordWdInEcp(la, {1, 2, 3}));
+    EXPECT_EQ(dev.ecpUsed(la), 2u);
+    EXPECT_EQ(dev.ecpWdCells(la).size(), 2u);
+}
+
+TEST(Device, WriteReleasesParkedWdEntries)
+{
+    DeviceConfig dc = quietConfig();
+    PcmDevice dev(dc);
+    const LineAddr la{0, 8, 0};
+    EXPECT_TRUE(dev.recordWdInEcp(la, {5, 6}));
+    EXPECT_EQ(dev.ecpUsed(la), 2u);
+    auto plan = dev.planWrite(la, LineData::randomFromKey(8));
+    const auto out = runPlan(dev, plan);
+    EXPECT_EQ(out.ecpWdReleased, 2u);
+    EXPECT_EQ(dev.ecpUsed(la), 0u);
+}
+
+TEST(Device, PartialWriteResumesCleanly)
+{
+    // Write cancellation leaves a half-programmed line; re-planning from
+    // the current state must still converge to the same final content.
+    DeviceConfig dc = quietConfig();
+    PcmDevice dev(dc);
+    const LineAddr la{6, 90, 5};
+    const LineData data = LineData::randomFromKey(2024);
+
+    auto plan = dev.planWrite(la, data);
+    PcmDevice::RoundOutcome outcome;
+    if (plan.roundsRemaining())
+        dev.applyNextRound(plan, outcome); // one round, then "cancel"
+
+    auto resume = dev.planWrite(la, data);
+    runPlan(dev, resume);
+    EXPECT_EQ(dev.readLine(la), data);
+}
+
+TEST(Device, AgedDeviceHasStuckCellsCoveredByEcp)
+{
+    DeviceConfig dc = quietConfig();
+    dc.aging.ageFraction = 1.0;
+    dc.aging.meanHardPerLineAtEol = 2.0;
+    // Generous ECP so no sampled line exceeds its hard-error capacity
+    // (an ECP-saturated line is legitimately unprotectable).
+    dc.ecpEntries = 16;
+    PcmDevice dev(dc);
+
+    // Touch a population of lines and write fresh data over them; reads
+    // must return the written data despite the stuck cells.
+    std::uint64_t hard_before = 0;
+    for (unsigned i = 0; i < 50; ++i) {
+        const LineAddr la{i % 16, 100 + i, i % 64};
+        const LineData data = LineData::randomFromKey(i * 31 + 1);
+        auto plan = dev.planWrite(la, data);
+        runPlan(dev, plan);
+        EXPECT_EQ(dev.readLine(la), data) << "line " << i;
+    }
+    hard_before = dev.stats().hardErrors;
+    // Poisson(2) over 50 lines: expect a healthy population.
+    EXPECT_GT(hard_before, 50u);
+    EXPECT_LT(hard_before, 200u);
+}
+
+TEST(Device, FreshDeviceHasNoHardErrors)
+{
+    PcmDevice dev(quietConfig());
+    for (unsigned i = 0; i < 20; ++i)
+        dev.readLine(LineAddr{0, i, 0});
+    EXPECT_EQ(dev.stats().hardErrors, 0u);
+}
+
+TEST(Device, WordLineFixupsRepairOwnRow)
+{
+    DeviceConfig dc = quietConfig();
+    dc.dinEnabled = true;
+    dc.din.modeledResidualFactor = 1.0;
+    dc.rates.wordLine = 1.0;
+    PcmDevice dev(dc);
+
+    const LineAddr la{7, 110, 8};
+    const LineData data = LineData::randomFromKey(55);
+    auto plan = dev.planWrite(la, data);
+    const auto out = runPlan(dev, plan);
+    // Everything disturbed within the row was repaired by the write.
+    EXPECT_EQ(out.wlErrorsFixed, plan.wlHits.size());
+    EXPECT_EQ(dev.readLine(la), data);
+}
+
+TEST(Device, Figure4StatsAccumulate)
+{
+    DeviceConfig dc = quietConfig();
+    dc.rates = WdRates{0.099, 0.115};
+    PcmDevice dev(dc);
+    for (unsigned i = 0; i < 40; ++i) {
+        const LineAddr la{i % 16, 200 + i / 16, i % 64};
+        auto plan = dev.planWrite(la, LineData::randomFromKey(i));
+        runPlan(dev, plan);
+    }
+    EXPECT_EQ(dev.stats().wlErrorsPerWrite.count(), 40u);
+    // Two adjacent-line samples per write.
+    EXPECT_EQ(dev.stats().blErrorsPerAdjacentLine.count(), 80u);
+    EXPECT_GT(dev.stats().blDisturbances, 0u);
+}
+
+TEST(Device, TouchedLinesTracksMaterialisation)
+{
+    PcmDevice dev(quietConfig());
+    EXPECT_EQ(dev.touchedLines(), 0u);
+    dev.readLine(LineAddr{0, 0, 0});
+    dev.readLine(LineAddr{0, 0, 0});
+    dev.readLine(LineAddr{1, 0, 0});
+    EXPECT_EQ(dev.touchedLines(), 2u);
+}
+
+} // namespace
+} // namespace sdpcm

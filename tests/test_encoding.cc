@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for differential write, Flip-N-Write and the DIN encoder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "encoding/diffwrite.hh"
+#include "encoding/din.hh"
+#include "encoding/fnw.hh"
+
+namespace sdpcm {
+namespace {
+
+TEST(DiffWrite, SplitsResetAndSet)
+{
+    LineData from, to;
+    from.setBit(1, true);  // 1 -> 0 : RESET
+    to.setBit(2, true);    // 0 -> 1 : SET
+    from.setBit(3, true);  // unchanged 1
+    to.setBit(3, true);
+    const WriteMasks m = diffWrite(from, to);
+    EXPECT_EQ(m.resetCount(), 1u);
+    EXPECT_EQ(m.setCount(), 1u);
+    EXPECT_TRUE(m.resetMask.getBit(1));
+    EXPECT_TRUE(m.setMask.getBit(2));
+    EXPECT_FALSE(m.resetMask.getBit(3));
+}
+
+TEST(DiffWrite, IdenticalLinesNeedNothing)
+{
+    const LineData a = LineData::randomFromKey(9);
+    const WriteMasks m = diffWrite(a, a);
+    EXPECT_EQ(m.changedCount(), 0u);
+}
+
+TEST(Fnw, DecodeInvertsEncode)
+{
+    Rng rng(5);
+    FnwEncoder fnw(16);
+    for (int i = 0; i < 50; ++i) {
+        const LineData logical = LineData::randomFromKey(rng.next64());
+        const LineData old = LineData::randomFromKey(rng.next64());
+        const auto enc = fnw.encode(logical, old);
+        EXPECT_EQ(fnw.decode(enc.physical, enc.flags), logical);
+    }
+}
+
+TEST(Fnw, NeverWorseThanPlainWrite)
+{
+    Rng rng(6);
+    FnwEncoder fnw(16);
+    for (int i = 0; i < 50; ++i) {
+        const LineData logical = LineData::randomFromKey(rng.next64());
+        const LineData old = LineData::randomFromKey(rng.next64());
+        const auto enc = fnw.encode(logical, old);
+        const unsigned with_fnw =
+            diffWrite(old, enc.physical).changedCount();
+        const unsigned plain = diffWrite(old, logical).changedCount();
+        EXPECT_LE(with_fnw, plain);
+    }
+}
+
+TEST(Fnw, HalvesCostOfInvertedData)
+{
+    // Writing the bitwise complement should cost ~nothing under FNW.
+    FnwEncoder fnw(16);
+    const LineData old = LineData::randomFromKey(3);
+    LineData inverted;
+    for (unsigned w = 0; w < kLineWords; ++w)
+        inverted.words[w] = ~old.words[w];
+    const auto enc = fnw.encode(inverted, old);
+    EXPECT_EQ(diffWrite(old, enc.physical).changedCount(), 0u);
+    EXPECT_EQ(enc.flags, ~0ULL >> (64 - fnw.numGroups()));
+}
+
+TEST(Din, DecodeInvertsEncode)
+{
+    Rng rng(7);
+    DinEncoder din;
+    for (int i = 0; i < 50; ++i) {
+        const LineData logical = LineData::randomFromKey(rng.next64());
+        const LineData old = LineData::randomFromKey(rng.next64());
+        const auto enc = din.encode(logical, old);
+        EXPECT_EQ(din.decode(enc.physical, enc.flags), logical);
+    }
+}
+
+TEST(Din, VulnerablePairCounting)
+{
+    // old = ...111, target = ...110: bit0 is RESET; bit1 stays 1 (not
+    // idle-0) -> no pair. With bit1 idle '0' -> one pair.
+    LineData old, target;
+    old.setBit(0, true);
+    // bit1 = 0 in both old and target: idle '0' next to a RESET cell.
+    EXPECT_EQ(DinEncoder::vulnerablePairs(target, old), 1u);
+
+    old.setBit(1, true);
+    target.setBit(1, true); // neighbour now crystalline and untouched
+    EXPECT_EQ(DinEncoder::vulnerablePairs(target, old), 0u);
+}
+
+TEST(Din, NoPairsAcrossChipBoundary)
+{
+    // Cell 63 and cell 64 belong to different chips; heat does not
+    // couple through the word-line there in the encoder's cost model.
+    LineData old, target;
+    old.setBit(64, true); // cell 64 RESET; cell 63 idle '0' (other chip)
+    old.setBit(65, true); // cell 65 crystalline and untouched
+    target.setBit(65, true);
+    EXPECT_EQ(DinEncoder::vulnerablePairs(target, old), 0u);
+}
+
+TEST(Din, ReducesVulnerablePairsOnAverage)
+{
+    Rng rng(11);
+    DinEncoder din;
+    std::uint64_t raw = 0, encoded = 0;
+    for (int i = 0; i < 200; ++i) {
+        const LineData old = LineData::randomFromKey(rng.next64());
+        LineData logical = old;
+        for (int f = 0; f < 60; ++f)
+            logical.flipBit(static_cast<unsigned>(rng.below(kLineBits)));
+        raw += DinEncoder::vulnerablePairs(logical, old);
+        const auto enc = din.encode(logical, old);
+        encoded += DinEncoder::vulnerablePairs(enc.physical, old);
+    }
+    EXPECT_LT(encoded, raw);
+}
+
+TEST(Din, BoundedWriteInflation)
+{
+    // The weighted objective must not blow up the number of programmed
+    // cells (that was the failure mode of a pairs-only objective).
+    Rng rng(13);
+    DinEncoder din;
+    std::uint64_t plain = 0, encoded = 0;
+    LineData phys = LineData::randomFromKey(1);
+    std::uint64_t flags = 0;
+    for (int i = 0; i < 200; ++i) {
+        LineData logical = din.decode(phys, flags);
+        for (int f = 0; f < 60; ++f)
+            logical.flipBit(static_cast<unsigned>(rng.below(kLineBits)));
+        plain += 60;
+        const auto enc = din.encode(logical, phys);
+        encoded += diffWrite(phys, enc.physical).changedCount();
+        phys = enc.physical;
+        flags = enc.flags;
+    }
+    EXPECT_LT(encoded, plain * 1.3);
+}
+
+class DinGroupSizes : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(DinGroupSizes, RoundTripAllGroupSizes)
+{
+    DinConfig cfg;
+    cfg.groupBits = GetParam();
+    DinEncoder din(cfg);
+    Rng rng(GetParam());
+    for (int i = 0; i < 20; ++i) {
+        const LineData logical = LineData::randomFromKey(rng.next64());
+        const LineData old = LineData::randomFromKey(rng.next64());
+        const auto enc = din.encode(logical, old);
+        EXPECT_EQ(din.decode(enc.physical, enc.flags), logical);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, DinGroupSizes,
+                         ::testing::Values(8u, 16u, 32u, 64u));
+
+} // namespace
+} // namespace sdpcm

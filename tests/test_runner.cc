@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the experiment-runner utilities and scheme factories.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+
+namespace sdpcm {
+namespace {
+
+TEST(Geomean, BasicProperties)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    // Zeros/negatives are skipped, not poisoning the mean.
+    EXPECT_NEAR(geomean({0.0, 4.0, 1.0}), 2.0, 1e-12);
+}
+
+TEST(SchemeFactories, MatchSection53)
+{
+    const auto din = SchemeConfig::din8F2();
+    EXPECT_FALSE(din.superDense);
+    EXPECT_FALSE(din.vnc);
+
+    const auto base = SchemeConfig::baselineVnc();
+    EXPECT_TRUE(base.superDense);
+    EXPECT_TRUE(base.vnc);
+    EXPECT_FALSE(base.lazyCorrection);
+
+    const auto lazy = SchemeConfig::lazyC();
+    EXPECT_TRUE(lazy.lazyCorrection);
+    EXPECT_EQ(lazy.ecpEntries, 6u); // default ECP-6 (Section 5.3)
+    EXPECT_FALSE(lazy.preRead);
+
+    const auto lpr = SchemeConfig::lazyCPreRead();
+    EXPECT_TRUE(lpr.preRead);
+    EXPECT_TRUE(lpr.lazyCorrection);
+
+    const auto nm = SchemeConfig::lazyCPreReadNm(NmRatio{2, 3});
+    EXPECT_EQ(nm.defaultTag, (NmRatio{2, 3}));
+    EXPECT_EQ(nm.name, "LazyC+PreRead+(2:3)");
+
+    // Table 2 defaults.
+    EXPECT_EQ(base.writeQueueEntries, 32u);
+}
+
+TEST(Runner, SpeedupsIncludeGmean)
+{
+    RunnerConfig cfg;
+    cfg.refsPerCore = 600;
+    cfg.cores = 2;
+    const std::vector<WorkloadSpec> workloads = {
+        workloadFromProfile("wrf"), workloadFromProfile("xalan")};
+    const auto din = runScheme(SchemeConfig::din8F2(), workloads, cfg);
+    const auto base = runScheme(SchemeConfig::baselineVnc(), workloads,
+                                cfg);
+    const auto s = speedups(base, din);
+    ASSERT_TRUE(s.count("wrf"));
+    ASSERT_TRUE(s.count("xalan"));
+    ASSERT_TRUE(s.count("gmean"));
+    EXPECT_GE(s.at("gmean"), 1.0); // DIN never loses to basic VnC
+}
+
+TEST(Runner, StandardWorkloadsMatchTable3)
+{
+    const auto workloads = standardWorkloads();
+    EXPECT_EQ(workloads.size(), 9u);
+    EXPECT_EQ(workloads.front().name, "bwaves");
+    EXPECT_EQ(workloads.back().name, "stream");
+    // Every factory produces a working stream.
+    for (const auto& w : workloads) {
+        auto stream = w.makeStream(0, 1);
+        TraceRecord rec;
+        EXPECT_TRUE(stream->next(rec));
+    }
+}
+
+} // namespace
+} // namespace sdpcm

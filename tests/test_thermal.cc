@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the thermal write-disturbance model: Table 1 reproduction,
+ * WD-free spacing claims of Figure 1, and scaling behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "thermal/wd_model.hh"
+
+namespace sdpcm {
+namespace {
+
+TEST(WdModel, ReproducesTable1Elevations)
+{
+    WdModel model;
+    // 4F^2 at 20nm: 40nm cell-to-cell distance.
+    EXPECT_NEAR(model.neighborElevation(40.0, Material::Oxide), 310.0,
+                1e-9);
+    EXPECT_NEAR(model.neighborElevation(40.0, Material::GST), 320.0,
+                1e-9);
+}
+
+TEST(WdModel, ReproducesTable1ErrorRates)
+{
+    WdModel model;
+    EXPECT_NEAR(model.wordLineErrorRate(kLayoutSuperDense), 0.099, 1e-9);
+    EXPECT_NEAR(model.bitLineErrorRate(kLayoutSuperDense), 0.115, 1e-9);
+}
+
+TEST(WdModel, BitLineWorseThanWordLineAtEqualDistance)
+{
+    // The GST rail conducts heat better than the oxide between bit-lines.
+    WdModel model;
+    for (double d = 40.0; d <= 80.0; d += 10.0) {
+        EXPECT_GT(model.neighborElevation(d, Material::GST),
+                  model.neighborElevation(d, Material::Oxide));
+    }
+}
+
+TEST(WdModel, ElevationDecaysWithDistance)
+{
+    WdModel model;
+    double prev = 1e9;
+    for (double d = 10.0; d <= 200.0; d += 10.0) {
+        const double e = model.neighborElevation(d, Material::GST);
+        EXPECT_LT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(WdModel, DinLayoutIsBitLineWdFree)
+{
+    // Figure 1(c): 4F spacing along bit-lines eliminates BL disturbance.
+    WdModel model;
+    EXPECT_DOUBLE_EQ(model.bitLineErrorRate(kLayoutDin), 0.0);
+    // ... but word-lines stay at the dense pitch and remain vulnerable.
+    EXPECT_NEAR(model.wordLineErrorRate(kLayoutDin), 0.099, 1e-9);
+}
+
+TEST(WdModel, PrototypeLayoutIsFullyWdFree)
+{
+    // Figure 1(b): the 12F^2 prototype has no disturbance at all.
+    WdModel model;
+    EXPECT_DOUBLE_EQ(model.wordLineErrorRate(kLayoutPrototype), 0.0);
+    EXPECT_DOUBLE_EQ(model.bitLineErrorRate(kLayoutPrototype), 0.0);
+}
+
+TEST(WdModel, CellAreas)
+{
+    EXPECT_DOUBLE_EQ(kLayoutSuperDense.cellAreaF2(), 4.0);
+    EXPECT_DOUBLE_EQ(kLayoutDin.cellAreaF2(), 8.0);
+    EXPECT_DOUBLE_EQ(kLayoutPrototype.cellAreaF2(), 12.0);
+}
+
+TEST(WdModel, ErrorRateZeroBelowCrystallization)
+{
+    WdModel model;
+    EXPECT_DOUBLE_EQ(model.errorRate(100.0), 0.0);
+    EXPECT_DOUBLE_EQ(model.errorRate(269.0), 0.0);
+    EXPECT_GT(model.errorRate(280.0), 0.0); // 280 + 30 ambient >= 300
+}
+
+TEST(WdModel, ErrorRateSaturatesAtMelting)
+{
+    WdModel model;
+    EXPECT_DOUBLE_EQ(model.errorRate(600.0), 1.0);
+}
+
+TEST(WdModel, ErrorRateMonotoneInTemperature)
+{
+    WdModel model;
+    double prev = -1.0;
+    for (double e = 270.0; e <= 560.0; e += 10.0) {
+        const double r = model.errorRate(e);
+        EXPECT_GE(r, prev);
+        prev = r;
+    }
+}
+
+TEST(WdModel, ScalingOnsetBelow28nm)
+{
+    // At the minimal 2F pitch, disturbance should be absent at older
+    // nodes and rise steeply towards/below 20nm (Section 2.2).
+    WdModel model;
+    EXPECT_DOUBLE_EQ(
+        model.bitLineErrorRateAt(kLayoutSuperDense, 54.0), 0.0);
+    EXPECT_DOUBLE_EQ(
+        model.bitLineErrorRateAt(kLayoutSuperDense, 40.0), 0.0);
+    const double at20 = model.bitLineErrorRateAt(kLayoutSuperDense, 20.0);
+    const double at16 = model.bitLineErrorRateAt(kLayoutSuperDense, 16.0);
+    EXPECT_NEAR(at20, 0.115, 1e-9);
+    EXPECT_GT(at16, at20);
+}
+
+class WdModelRateSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(WdModelRateSweep, RatesAreProbabilities)
+{
+    WdModel model;
+    const double feature = GetParam();
+    for (const auto& layout :
+         {kLayoutSuperDense, kLayoutDin, kLayoutPrototype}) {
+        const double wl = model.wordLineErrorRateAt(layout, feature);
+        const double bl = model.bitLineErrorRateAt(layout, feature);
+        EXPECT_GE(wl, 0.0);
+        EXPECT_LE(wl, 1.0);
+        EXPECT_GE(bl, 0.0);
+        EXPECT_LE(bl, 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(FeatureSizes, WdModelRateSweep,
+                         ::testing::Values(10.0, 14.0, 16.0, 20.0, 28.0,
+                                           40.0, 54.0, 90.0));
+
+} // namespace
+} // namespace sdpcm
