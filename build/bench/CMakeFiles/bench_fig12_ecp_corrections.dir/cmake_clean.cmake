@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_ecp_corrections.dir/bench_fig12_ecp_corrections.cpp.o"
+  "CMakeFiles/bench_fig12_ecp_corrections.dir/bench_fig12_ecp_corrections.cpp.o.d"
+  "bench_fig12_ecp_corrections"
+  "bench_fig12_ecp_corrections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_ecp_corrections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

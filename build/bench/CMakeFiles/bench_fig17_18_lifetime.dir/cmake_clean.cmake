@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_18_lifetime.dir/bench_fig17_18_lifetime.cpp.o"
+  "CMakeFiles/bench_fig17_18_lifetime.dir/bench_fig17_18_lifetime.cpp.o.d"
+  "bench_fig17_18_lifetime"
+  "bench_fig17_18_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_18_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_write_cancellation.dir/bench_fig19_write_cancellation.cpp.o"
+  "CMakeFiles/bench_fig19_write_cancellation.dir/bench_fig19_write_cancellation.cpp.o.d"
+  "bench_fig19_write_cancellation"
+  "bench_fig19_write_cancellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_write_cancellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motivation_ecc.dir/bench_motivation_ecc.cpp.o"
+  "CMakeFiles/bench_motivation_ecc.dir/bench_motivation_ecc.cpp.o.d"
+  "bench_motivation_ecc"
+  "bench_motivation_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivation_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

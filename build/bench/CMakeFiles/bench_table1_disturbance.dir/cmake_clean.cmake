@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_disturbance.dir/bench_table1_disturbance.cpp.o"
+  "CMakeFiles/bench_table1_disturbance.dir/bench_table1_disturbance.cpp.o.d"
+  "bench_table1_disturbance"
+  "bench_table1_disturbance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_disturbance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

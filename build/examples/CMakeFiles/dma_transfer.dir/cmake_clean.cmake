@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dma_transfer.dir/dma_transfer.cpp.o"
+  "CMakeFiles/dma_transfer.dir/dma_transfer.cpp.o.d"
+  "dma_transfer"
+  "dma_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dma_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

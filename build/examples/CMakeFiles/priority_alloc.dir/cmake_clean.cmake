@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_alloc.dir/priority_alloc.cpp.o"
+  "CMakeFiles/priority_alloc.dir/priority_alloc.cpp.o.d"
+  "priority_alloc"
+  "priority_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdpcm_cli.dir/sdpcm_cli.cpp.o"
+  "CMakeFiles/sdpcm_cli.dir/sdpcm_cli.cpp.o.d"
+  "sdpcm_cli"
+  "sdpcm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdpcm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sdpcm_cli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_workload.dir/stream_workload.cpp.o"
+  "CMakeFiles/stream_workload.dir/stream_workload.cpp.o.d"
+  "stream_workload"
+  "stream_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wear_leveling.dir/wear_leveling.cpp.o"
+  "CMakeFiles/wear_leveling.dir/wear_leveling.cpp.o.d"
+  "wear_leveling"
+  "wear_leveling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wear_leveling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/wd_analytic.cc" "src/CMakeFiles/sdpcm.dir/analysis/wd_analytic.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/analysis/wd_analytic.cc.o.d"
+  "/root/repo/src/common/args.cc" "src/CMakeFiles/sdpcm.dir/common/args.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/common/args.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/sdpcm.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/sdpcm.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/sdpcm.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/sdpcm.dir/common/table.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/common/table.cc.o.d"
+  "/root/repo/src/controller/memctrl.cc" "src/CMakeFiles/sdpcm.dir/controller/memctrl.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/controller/memctrl.cc.o.d"
+  "/root/repo/src/controller/scheme.cc" "src/CMakeFiles/sdpcm.dir/controller/scheme.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/controller/scheme.cc.o.d"
+  "/root/repo/src/cpu/cache.cc" "src/CMakeFiles/sdpcm.dir/cpu/cache.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/cpu/cache.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/sdpcm.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/cpu/core.cc.o.d"
+  "/root/repo/src/encoding/din.cc" "src/CMakeFiles/sdpcm.dir/encoding/din.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/encoding/din.cc.o.d"
+  "/root/repo/src/encoding/ecc.cc" "src/CMakeFiles/sdpcm.dir/encoding/ecc.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/encoding/ecc.cc.o.d"
+  "/root/repo/src/encoding/fnw.cc" "src/CMakeFiles/sdpcm.dir/encoding/fnw.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/encoding/fnw.cc.o.d"
+  "/root/repo/src/os/buddy.cc" "src/CMakeFiles/sdpcm.dir/os/buddy.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/os/buddy.cc.o.d"
+  "/root/repo/src/os/dma.cc" "src/CMakeFiles/sdpcm.dir/os/dma.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/os/dma.cc.o.d"
+  "/root/repo/src/os/nm_policy.cc" "src/CMakeFiles/sdpcm.dir/os/nm_policy.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/os/nm_policy.cc.o.d"
+  "/root/repo/src/os/page_table.cc" "src/CMakeFiles/sdpcm.dir/os/page_table.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/os/page_table.cc.o.d"
+  "/root/repo/src/pcm/device.cc" "src/CMakeFiles/sdpcm.dir/pcm/device.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/pcm/device.cc.o.d"
+  "/root/repo/src/pcm/geometry.cc" "src/CMakeFiles/sdpcm.dir/pcm/geometry.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/pcm/geometry.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/CMakeFiles/sdpcm.dir/sim/runner.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/sim/runner.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/sdpcm.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/sim/system.cc.o.d"
+  "/root/repo/src/thermal/wd_model.cc" "src/CMakeFiles/sdpcm.dir/thermal/wd_model.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/thermal/wd_model.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/sdpcm.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/workload/generators.cc.o.d"
+  "/root/repo/src/workload/trace_file.cc" "src/CMakeFiles/sdpcm.dir/workload/trace_file.cc.o" "gcc" "src/CMakeFiles/sdpcm.dir/workload/trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_buddy.cc" "tests/CMakeFiles/sdpcm_tests.dir/test_buddy.cc.o" "gcc" "tests/CMakeFiles/sdpcm_tests.dir/test_buddy.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/sdpcm_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/sdpcm_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/sdpcm_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/sdpcm_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_controller.cc" "tests/CMakeFiles/sdpcm_tests.dir/test_controller.cc.o" "gcc" "tests/CMakeFiles/sdpcm_tests.dir/test_controller.cc.o.d"
+  "/root/repo/tests/test_device.cc" "tests/CMakeFiles/sdpcm_tests.dir/test_device.cc.o" "gcc" "tests/CMakeFiles/sdpcm_tests.dir/test_device.cc.o.d"
+  "/root/repo/tests/test_encoding.cc" "tests/CMakeFiles/sdpcm_tests.dir/test_encoding.cc.o" "gcc" "tests/CMakeFiles/sdpcm_tests.dir/test_encoding.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/sdpcm_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/sdpcm_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_nm_policy.cc" "tests/CMakeFiles/sdpcm_tests.dir/test_nm_policy.cc.o" "gcc" "tests/CMakeFiles/sdpcm_tests.dir/test_nm_policy.cc.o.d"
+  "/root/repo/tests/test_os.cc" "tests/CMakeFiles/sdpcm_tests.dir/test_os.cc.o" "gcc" "tests/CMakeFiles/sdpcm_tests.dir/test_os.cc.o.d"
+  "/root/repo/tests/test_pcm_basics.cc" "tests/CMakeFiles/sdpcm_tests.dir/test_pcm_basics.cc.o" "gcc" "tests/CMakeFiles/sdpcm_tests.dir/test_pcm_basics.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/sdpcm_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/sdpcm_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_runner.cc" "tests/CMakeFiles/sdpcm_tests.dir/test_runner.cc.o" "gcc" "tests/CMakeFiles/sdpcm_tests.dir/test_runner.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/sdpcm_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/sdpcm_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_thermal.cc" "tests/CMakeFiles/sdpcm_tests.dir/test_thermal.cc.o" "gcc" "tests/CMakeFiles/sdpcm_tests.dir/test_thermal.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/sdpcm_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/sdpcm_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdpcm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
