@@ -60,6 +60,28 @@ main(int argc, char** argv)
         t.print(std::cout);
     }
 
+    // Tail latency view: the mean hides how much of VnC's cost lands on
+    // the few reads stuck behind verify/correction bursts.
+    std::cout << "\n--- p99 read latency (cycles; p50 in parens) ---\n\n";
+    {
+        std::vector<std::string> headers = {"workload"};
+        for (const auto& s : schemes)
+            headers.push_back(s.name);
+        TablePrinter t(headers);
+        for (const auto& name : workloadNames()) {
+            std::vector<std::string> row = {name};
+            for (const auto& r : results) {
+                const auto& lat = r.at(name).ctrl.readLatency;
+                row.push_back(TablePrinter::fmt(lat.percentile(0.99), 0) +
+                              " (" +
+                              TablePrinter::fmt(lat.percentile(0.50), 0) +
+                              ")");
+            }
+            t.addRow(row);
+        }
+        t.print(std::cout);
+    }
+
     std::cout << "\nShape check: baseline << LazyC < LazyC+PreRead ~ "
                  "LazyC+(2:3) < all-three <= DIN; (1:2) ~ DIN.\n";
     return 0;

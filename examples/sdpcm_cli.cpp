@@ -10,8 +10,12 @@
  *   sdpcm_cli --scheme=nm --n=2 --m=3 --workload=lbm
  *   sdpcm_cli --capture=mcf.trace --workload=mcf --refs=50000
  *   sdpcm_cli --replay=mcf.trace --scheme=baseline
+ *   sdpcm_cli --scheme=sdpcm --workload=mcf \
+ *             --trace=sdpcm.trace.json --epoch=100000 \
+ *             --epoch-csv=sdpcm.epochs.csv
  */
 
+#include <fstream>
 #include <iostream>
 
 #include "common/args.hh"
@@ -44,9 +48,16 @@ schemeByName(const std::string& name, const ArgParser& args)
         scheme = SchemeConfig::lazyCPreReadNm(
             NmRatio{static_cast<unsigned>(args.getInt("n", 2)),
                     static_cast<unsigned>(args.getInt("m", 3))});
+    } else if (name == "sdpcm") {
+        scheme = SchemeConfig::sdpcm(
+            NmRatio{static_cast<unsigned>(args.getInt("n", 2)),
+                    static_cast<unsigned>(args.getInt("m", 3))});
+    } else if (name == "fnw") {
+        scheme = SchemeConfig::fnwVnc();
     } else {
         SDPCM_FATAL("unknown scheme '", name,
-                    "' (din, baseline, lazyc, lazyc+preread, nm, all)");
+                    "' (din, baseline, lazyc, lazyc+preread, nm, all, "
+                    "sdpcm, fnw)");
     }
     scheme.ecpEntries =
         static_cast<unsigned>(args.getInt("ecp", scheme.ecpEntries));
@@ -68,12 +79,29 @@ main(int argc, char** argv)
     if (args.has("help")) {
         std::cout <<
             "sdpcm_cli — run one SD-PCM simulation\n"
-            "  --scheme=NAME     din|baseline|lazyc|lazyc+preread|nm|all\n"
+            "  --scheme=NAME     din|baseline|lazyc|lazyc+preread|nm|all"
+            "|sdpcm|fnw\n"
+            "                    (sdpcm = LazyC+PreRead+(n:m); fnw = "
+            "basic VnC with\n"
+            "                    Flip-N-Write instead of DIN — no WL "
+            "suppression)\n"
             "  --workload=NAME   Table 3 profile (default mcf)\n"
             "  --refs=N --seed=N --cores=N\n"
             "  --ecp=N --wq=N --wc=0|1 --n=N --m=M --age=F\n"
             "  --capture=FILE    write the workload's trace and exit\n"
-            "  --replay=FILE     run from a captured trace file\n";
+            "  --replay=FILE     run from a captured trace file\n"
+            "\n"
+            "observability:\n"
+            "  --trace=FILE      write a Chrome trace-event JSON of bank\n"
+            "                    activity (open in https://ui.perfetto.dev"
+            " or\n"
+            "                    chrome://tracing; ts/dur are sim ticks)\n"
+            "  --epoch=N         sample controller counters every N ticks"
+            "\n"
+            "  --epoch-csv=FILE  write the epoch series as CSV\n"
+            "  --epoch-json=FILE write the epoch series as JSON\n"
+            "                    (with --epoch but no file, CSV goes to "
+            "stdout)\n";
         return 0;
     }
 
@@ -99,6 +127,9 @@ main(int argc, char** argv)
     cfg.seed = seed;
     cfg.cores = static_cast<unsigned>(args.getInt("cores", 8));
     cfg.aging.ageFraction = args.getDouble("age", 0.0);
+    cfg.tracePath = args.getString("trace", "");
+    cfg.epochTicks =
+        static_cast<Tick>(args.getInt("epoch", 0));
 
     const SchemeConfig scheme =
         schemeByName(args.getString("scheme", "lazyc+preread"), args);
@@ -118,5 +149,34 @@ main(int argc, char** argv)
               << ", " << cfg.cores << " cores x " << refs << " refs\n\n";
     const RunMetrics m = runOne(scheme, spec, cfg);
     m.toSnapshot().dump(std::cout);
+
+    if (!cfg.tracePath.empty()) {
+        std::cout << "\ntrace written to " << cfg.tracePath
+                  << " (load in https://ui.perfetto.dev)\n";
+    }
+    if (m.epochs.enabled()) {
+        const std::string csv_path = args.getString("epoch-csv", "");
+        const std::string json_path = args.getString("epoch-json", "");
+        if (!csv_path.empty()) {
+            std::ofstream os(csv_path);
+            if (!os)
+                SDPCM_FATAL("cannot open ", csv_path);
+            m.epochs.dumpCsv(os);
+            std::cout << "epoch series (" << m.epochs.samples.size()
+                      << " samples) written to " << csv_path << "\n";
+        }
+        if (!json_path.empty()) {
+            std::ofstream os(json_path);
+            if (!os)
+                SDPCM_FATAL("cannot open ", json_path);
+            m.epochs.dumpJson(os);
+            std::cout << "epoch series (" << m.epochs.samples.size()
+                      << " samples) written to " << json_path << "\n";
+        }
+        if (csv_path.empty() && json_path.empty()) {
+            std::cout << "\n";
+            m.epochs.dumpCsv(std::cout);
+        }
+    }
     return 0;
 }

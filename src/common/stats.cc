@@ -1,5 +1,8 @@
 #include "common/stats.hh"
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
 #include <iomanip>
 
 #include "common/logging.hh"
@@ -28,6 +31,79 @@ Histogram::mean() const
     sum += static_cast<double>(overflow_) *
            static_cast<double>(buckets_.size() - 1);
     return sum / static_cast<double>(total_);
+}
+
+double
+Histogram::percentile(double q) const
+{
+    if (total_ == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    const double target = q * static_cast<double>(total_);
+    std::uint64_t cum = 0;
+    for (std::size_t v = 0; v < buckets_.size(); ++v) {
+        cum += buckets_[v];
+        if (static_cast<double>(cum) >= target && cum > 0)
+            return static_cast<double>(v);
+    }
+    // Only overflow samples remain; they are counted at max.
+    return static_cast<double>(buckets_.size() - 1);
+}
+
+unsigned
+QuantileSketch::bucketIndex(std::uint64_t value)
+{
+    if (value < kSubBuckets)
+        return static_cast<unsigned>(value);
+    // Most significant bit position m >= 4: one octave [2^m, 2^(m+1))
+    // split into 16 linear sub-buckets of width 2^(m-4).
+    const unsigned m = static_cast<unsigned>(std::bit_width(value)) - 1;
+    const unsigned sub = static_cast<unsigned>(
+        (value >> (m - kSubBucketBits)) & (kSubBuckets - 1));
+    return ((m - kSubBucketBits + 1) << kSubBucketBits) | sub;
+}
+
+double
+QuantileSketch::bucketMid(unsigned index)
+{
+    if (index < kSubBuckets)
+        return static_cast<double>(index);
+    const unsigned octave = index >> kSubBucketBits;
+    const unsigned sub = index & (kSubBuckets - 1);
+    const unsigned m = octave + kSubBucketBits - 1;
+    const double width = std::ldexp(1.0, static_cast<int>(m) -
+                                   static_cast<int>(kSubBucketBits));
+    const double lower = std::ldexp(1.0, static_cast<int>(m)) +
+                         sub * width;
+    return lower + width / 2.0;
+}
+
+double
+QuantileSketch::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    const double target = q * static_cast<double>(count_);
+    std::uint64_t cum = 0;
+    unsigned last_nonempty = 0;
+    for (unsigned i = 0; i < kNumBuckets; ++i) {
+        if (counts_[i] == 0)
+            continue;
+        cum += counts_[i];
+        last_nonempty = i;
+        if (static_cast<double>(cum) >= target)
+            return bucketMid(i);
+    }
+    return bucketMid(last_nonempty);
+}
+
+void
+QuantileSketch::merge(const QuantileSketch& other)
+{
+    for (unsigned i = 0; i < kNumBuckets; ++i)
+        counts_[i] += other.counts_[i];
+    count_ += other.count_;
 }
 
 double

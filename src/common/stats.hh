@@ -81,7 +81,15 @@ class RunningStat
     double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/** Fixed-bucket histogram over integer values [0, maxValue]. */
+/**
+ * Fixed-bucket histogram over integer values [0, maxValue].
+ *
+ * Accessor semantics mirror `record()`: values above `maxValue` are
+ * tracked in a single overflow bucket (`overflow()`), and `bucket(v)` for
+ * an out-of-range `v` returns 0 rather than throwing, so callers can probe
+ * any value uniformly. Aggregates (`mean()`, `percentile()`) count the
+ * overflow bucket at the maximum representable value.
+ */
 class Histogram
 {
   public:
@@ -101,7 +109,14 @@ class Histogram
 
     std::uint64_t total() const { return total_; }
     std::uint64_t overflow() const { return overflow_; }
-    std::uint64_t bucket(std::size_t v) const { return buckets_.at(v); }
+
+    /** Samples recorded with exactly value `v`; 0 if `v` > maxValue. */
+    std::uint64_t
+    bucket(std::size_t v) const
+    {
+        return v < buckets_.size() ? buckets_[v] : 0;
+    }
+
     std::size_t numBuckets() const { return buckets_.size(); }
 
     /** Fraction of samples with value >= threshold. */
@@ -110,10 +125,114 @@ class Histogram
     /** Mean over recorded samples (overflow samples counted at max). */
     double mean() const;
 
+    /**
+     * Smallest recorded value v such that at least `q * total()` samples
+     * are <= v (overflow samples counted at max). `q` is clamped to
+     * [0, 1]; returns 0 when nothing has been recorded.
+     */
+    double percentile(double q) const;
+
   private:
     std::vector<std::uint64_t> buckets_;
     std::uint64_t total_ = 0;
     std::uint64_t overflow_ = 0;
+};
+
+/**
+ * Fixed-memory quantile estimator over non-negative integer samples.
+ *
+ * An HdrHistogram-style log-linear sketch: values below 16 get exact
+ * buckets; every power-of-two octave above that is split into 16 linear
+ * sub-buckets, so any percentile is reported with <= 1/16 (6.25%)
+ * relative error regardless of the value range (full uint64). Memory is
+ * a constant ~8KB per sketch and `record()` is O(1) — suitable for
+ * per-request latency tracking on the simulator's hot path.
+ */
+class QuantileSketch
+{
+  public:
+    void
+    record(std::uint64_t value)
+    {
+        count_ += 1;
+        counts_[bucketIndex(value)] += 1;
+    }
+
+    std::uint64_t count() const { return count_; }
+
+    /**
+     * Value at quantile `q` in [0, 1] (clamped): the representative
+     * (midpoint) of the smallest bucket whose cumulative count reaches
+     * `q * count()`. Returns 0 when nothing has been recorded.
+     */
+    double percentile(double q) const;
+
+    void merge(const QuantileSketch& other);
+
+    void
+    reset()
+    {
+        *this = QuantileSketch();
+    }
+
+  private:
+    // 16 exact buckets + 60 octaves x 16 sub-buckets covers all of uint64.
+    static constexpr unsigned kSubBucketBits = 4;
+    static constexpr unsigned kSubBuckets = 1u << kSubBucketBits;
+    static constexpr unsigned kNumBuckets = kSubBuckets * 61;
+
+    static unsigned bucketIndex(std::uint64_t value);
+    static double bucketMid(unsigned index);
+
+    std::vector<std::uint64_t> counts_ =
+        std::vector<std::uint64_t>(kNumBuckets, 0);
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Latency distribution tracker: a RunningStat for the moments plus a
+ * QuantileSketch for tail percentiles. Drop-in replacement for the plain
+ * RunningStat counters in component Stats structs.
+ */
+class LatencyStat
+{
+  public:
+    void
+    record(double value)
+    {
+        running_.record(value);
+        sketch_.record(value <= 0.0
+                           ? 0
+                           : static_cast<std::uint64_t>(value + 0.5));
+    }
+
+    std::uint64_t count() const { return running_.count(); }
+    double sum() const { return running_.sum(); }
+    double mean() const { return running_.mean(); }
+    double min() const { return running_.min(); }
+    double max() const { return running_.max(); }
+    double percentile(double q) const { return sketch_.percentile(q); }
+
+    const RunningStat& running() const { return running_; }
+    const QuantileSketch& sketch() const { return sketch_; }
+
+    void
+    reset()
+    {
+        running_.reset();
+        sketch_.reset();
+    }
+
+    void
+    merge(const LatencyStat& other)
+    {
+        running_.merge(other.running_);
+        sketch_.merge(other.sketch_);
+    }
+
+  private:
+    RunningStat running_;
+    QuantileSketch sketch_;
 };
 
 /** Ordered key/value stat snapshot used for dumping and test assertions. */

@@ -164,6 +164,12 @@ MemoryController::maybeCancelForRead(unsigned bank)
     const Tick elapsed = events_.now() - b.opStart;
     refundCycles(b.opKind, b.opLatency - elapsed);
 
+    if (trace_) {
+        // Close the op's duration event early and mark the abort.
+        trace_->end(bank, events_.now(), {{"cancelled", 1.0}});
+        trace_->instant(bank, "write_cancel", "ctrl", events_.now(),
+                        {{"elapsed", static_cast<double>(elapsed)}});
+    }
     b.opGen += 1; // the scheduled completion becomes a no-op
     b.busy = false;
     b.opCancellable = false;
@@ -224,9 +230,20 @@ MemoryController::submitWriteData(PhysAddr addr, const NmRatio& tag,
         b.draining = true;
         b.drainRemaining = scheme_.drainBurstWrites;
         stats_.writeDrains += 1;
+        noteDrainStart(la.bank);
     }
     kick(la.bank);
     return true;
+}
+
+void
+MemoryController::noteDrainStart(unsigned bank)
+{
+    if (trace_) {
+        trace_->instant(bank, "drain_start", "ctrl", events_.now(),
+                        {{"queued", static_cast<double>(
+                              banks_[bank].writeQueue.size())}});
+    }
 }
 
 void
@@ -266,6 +283,51 @@ MemoryController::pendingWrites() const
     for (const auto& b : banks_)
         n += b.writeQueue.size() + (b.active ? 1 : 0);
     return n;
+}
+
+std::size_t
+MemoryController::readQueueDepth(unsigned bank) const
+{
+    return banks_[bank].readQueue.size();
+}
+
+std::size_t
+MemoryController::writeQueueDepth(unsigned bank) const
+{
+    return banks_[bank].writeQueue.size();
+}
+
+std::uint64_t
+MemoryController::pendingCorrections() const
+{
+    std::uint64_t n = 0;
+    for (const auto& b : banks_) {
+        if (b.active)
+            n += b.active->tasks.size() + (b.active->corr ? 1 : 0);
+    }
+    return n;
+}
+
+const char*
+MemoryController::opName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Read:
+        return "Read";
+      case OpKind::PreRead:
+        return "PreRead";
+      case OpKind::WriteRound:
+        return "WriteRound";
+      case OpKind::VerifyRead:
+        return "VerifyRead";
+      case OpKind::CorrectionRound:
+        return "CorrectionRound";
+      case OpKind::CascadeRead:
+        return "CascadeRead";
+      case OpKind::EcpUpdate:
+        return "EcpUpdate";
+    }
+    return "?";
 }
 
 void
@@ -333,6 +395,8 @@ MemoryController::occupy(unsigned bank, Tick latency, OpKind kind,
     b.opStart = events_.now();
     b.opLatency = latency;
     chargeCycles(kind, latency);
+    if (trace_)
+        trace_->begin(bank, opName(kind), "bank", b.opStart);
 
     const std::uint64_t gen = b.opGen;
     events_.scheduleAfter(latency, [this, bank, gen,
@@ -342,6 +406,8 @@ MemoryController::occupy(unsigned bank, Tick latency, OpKind kind,
             return; // operation was cancelled
         bb.busy = false;
         bb.opCancellable = false;
+        if (trace_)
+            trace_->end(bank, events_.now());
         done();
         kick(bank);
     });
@@ -365,6 +431,7 @@ MemoryController::kick(unsigned bank)
         b.draining = true;
         b.drainRemaining = scheme_.drainBurstWrites;
         stats_.writeDrains += 1;
+        noteDrainStart(bank);
     }
 
     // Write cancellation lets the cancelling read cut in before the
@@ -576,6 +643,11 @@ MemoryController::handleVerifyErrors(unsigned bank, const LineAddr& addr,
         for (const unsigned c : errors)
             merged.insert(c);
         cells.assign(merged.begin(), merged.end());
+        if (trace_) {
+            trace_->instant(bank, "ecp_overflow", "ctrl", events_.now(),
+                            {{"cells", static_cast<double>(
+                                  cells.size())}});
+        }
     } else {
         cells = std::move(errors);
     }
@@ -585,6 +657,10 @@ MemoryController::handleVerifyErrors(unsigned bank, const LineAddr& addr,
         SDPCM_WARN("cascade depth cap hit at bank ", bank,
                    " row ", addr.row);
         return;
+    }
+    if (trace_ && depth >= kCascadeSpikeDepth) {
+        trace_->instant(bank, "cascade_spike", "ctrl", events_.now(),
+                        {{"depth", static_cast<double>(depth)}});
     }
     a.maxDepthSeen = std::max(a.maxDepthSeen, depth);
     a.tasks.push_back(CorrectionTask{addr, std::move(cells), depth});

@@ -40,6 +40,7 @@
 
 #include "common/stats.hh"
 #include "controller/scheme.hh"
+#include "obs/trace_sink.hh"
 #include "pcm/device.hh"
 #include "sim/event_queue.hh"
 
@@ -77,8 +78,8 @@ struct CtrlStats
     std::uint64_t cyclesCorrection = 0;
     std::uint64_t cyclesEcp = 0;
 
-    RunningStat readLatency;         //!< enqueue -> data return, cycles
-    RunningStat writeServiceLatency; //!< service start -> complete
+    LatencyStat readLatency;         //!< enqueue -> data return, cycles
+    LatencyStat writeServiceLatency; //!< service start -> complete
 };
 
 /** The per-channel memory controller. */
@@ -91,6 +92,26 @@ class MemoryController
     const SchemeConfig& scheme() const { return scheme_; }
     CtrlStats& stats() { return stats_; }
     const CtrlStats& stats() const { return stats_; }
+
+    /**
+     * Attach a structured-event sink (null detaches). Every bank
+     * occupancy becomes a duration event on the bank's lane; drains,
+     * cancellations, ECP overflows and cascade spikes become instants.
+     * With no sink attached the emission sites are single null checks.
+     */
+    void setTraceSink(TraceSink* sink) { trace_ = sink; }
+
+    // --- Observability accessors (epoch sampling / diagnostics). ---
+    unsigned
+    numBanks() const
+    {
+        return static_cast<unsigned>(banks_.size());
+    }
+    std::size_t readQueueDepth(unsigned bank) const;
+    std::size_t writeQueueDepth(unsigned bank) const;
+
+    /** Correction tasks queued or in flight across all banks. */
+    std::uint64_t pendingCorrections() const;
 
     /** Submit a read; the callback fires when data is available. */
     void submitRead(PhysAddr addr, unsigned core_id,
@@ -218,6 +239,9 @@ class MemoryController
         Tick opLatency = 0;
     };
 
+    static const char* opName(OpKind kind);
+    void noteDrainStart(unsigned bank);
+
     void kick(unsigned bank);
     void occupy(unsigned bank, Tick latency, OpKind kind,
                 std::function<void()> done, bool cancellable = false);
@@ -256,10 +280,13 @@ class MemoryController
     SchemeConfig scheme_;
     Rng rng_;
     CtrlStats stats_;
+    TraceSink* trace_ = nullptr;
     std::vector<Bank> banks_;
     mutable std::map<std::uint64_t, NmPolicy> policies_;
 
     static constexpr unsigned kMaxCascadeDepth = 64;
+    /** Cascade depth at which a trace instant marker is emitted. */
+    static constexpr unsigned kCascadeSpikeDepth = 4;
 };
 
 } // namespace sdpcm

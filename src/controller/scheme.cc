@@ -66,4 +66,21 @@ SchemeConfig::nmOnly(const NmRatio& tag)
     return c;
 }
 
+SchemeConfig
+SchemeConfig::fnwVnc()
+{
+    SchemeConfig c;
+    c.name = "fnw";
+    c.fnwEncoding = true;
+    return c;
+}
+
+SchemeConfig
+SchemeConfig::sdpcm(const NmRatio& tag)
+{
+    SchemeConfig c = lazyCPreReadNm(tag);
+    c.name = "sdpcm";
+    return c;
+}
+
 } // namespace sdpcm

@@ -47,6 +47,14 @@ struct SchemeConfig
     bool writeCancellation = false;
     unsigned maxCancelsPerWrite = 4;
 
+    /**
+     * Replace the DIN data-chip encoder with Flip-N-Write. FNW minimises
+     * programmed cells but does not suppress word-line disturbance, so
+     * VnC sees the full Table 1 word-line rate — the comparison point the
+     * paper's Figure 4 motivates DIN with.
+     */
+    bool fnwEncoding = false;
+
     /** Default (n:m) allocator tag for every application. */
     NmRatio defaultTag{1, 1};
 
@@ -97,6 +105,12 @@ struct SchemeConfig
     static SchemeConfig lazyCNm(const NmRatio& tag);
     static SchemeConfig lazyCPreReadNm(const NmRatio& tag);
     static SchemeConfig nmOnly(const NmRatio& tag);
+
+    /** Basic VnC with the FNW encoder instead of DIN (full WL rate). */
+    static SchemeConfig fnwVnc();
+
+    /** The full SD-PCM stack: LazyC + PreRead + (n:m)-Alloc. */
+    static SchemeConfig sdpcm(const NmRatio& tag = NmRatio{2, 3});
 };
 
 } // namespace sdpcm

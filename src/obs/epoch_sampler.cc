@@ -1,0 +1,231 @@
+#include "obs/epoch_sampler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sdpcm {
+
+namespace {
+
+/** Field list shared by the CSV/JSON dumpers (name, getter). */
+struct Column
+{
+    const char* name;
+    std::uint64_t (*get)(const EpochSample&);
+};
+
+const Column kColumns[] = {
+    {"tick", [](const EpochSample& s) { return s.tick; }},
+    {"reads_serviced",
+     [](const EpochSample& s) { return s.readsServiced; }},
+    {"reads_forwarded",
+     [](const EpochSample& s) { return s.readsForwarded; }},
+    {"writes_accepted",
+     [](const EpochSample& s) { return s.writesAccepted; }},
+    {"writes_completed",
+     [](const EpochSample& s) { return s.writesCompleted; }},
+    {"write_drains", [](const EpochSample& s) { return s.writeDrains; }},
+    {"ecp_updates", [](const EpochSample& s) { return s.ecpUpdates; }},
+    {"correction_writes",
+     [](const EpochSample& s) { return s.correctionWrites; }},
+    {"write_cancellations",
+     [](const EpochSample& s) { return s.writeCancellations; }},
+    {"cycles_read", [](const EpochSample& s) { return s.cyclesRead; }},
+    {"cycles_preread",
+     [](const EpochSample& s) { return s.cyclesPreRead; }},
+    {"cycles_write", [](const EpochSample& s) { return s.cyclesWrite; }},
+    {"cycles_verify",
+     [](const EpochSample& s) { return s.cyclesVerify; }},
+    {"cycles_correction",
+     [](const EpochSample& s) { return s.cyclesCorrection; }},
+    {"cycles_ecp", [](const EpochSample& s) { return s.cyclesEcp; }},
+    {"read_queued", [](const EpochSample& s) { return s.readQueued; }},
+    {"write_queued", [](const EpochSample& s) { return s.writeQueued; }},
+    {"max_bank_write_queue",
+     [](const EpochSample& s) { return s.maxBankWriteQueue; }},
+    {"pending_corrections",
+     [](const EpochSample& s) { return s.pendingCorrections; }},
+};
+
+} // namespace
+
+const std::vector<std::string>&
+EpochSeries::columns()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const Column& c : kColumns)
+            v.emplace_back(c.name);
+        return v;
+    }();
+    return names;
+}
+
+void
+EpochSeries::dumpCsv(std::ostream& os) const
+{
+    bool first = true;
+    for (const Column& c : kColumns) {
+        os << (first ? "" : ",") << c.name;
+        first = false;
+    }
+    os << "\n";
+    for (const EpochSample& s : samples) {
+        first = true;
+        for (const Column& c : kColumns) {
+            os << (first ? "" : ",") << c.get(s);
+            first = false;
+        }
+        os << "\n";
+    }
+}
+
+void
+EpochSeries::dumpJson(std::ostream& os) const
+{
+    os << "{\"epoch_ticks\":" << epochTicks << ",\"samples\":[";
+    bool first_sample = true;
+    for (const EpochSample& s : samples) {
+        os << (first_sample ? "\n" : ",\n") << "{";
+        first_sample = false;
+        bool first = true;
+        for (const Column& c : kColumns) {
+            os << (first ? "" : ",") << "\"" << c.name
+               << "\":" << c.get(s);
+            first = false;
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+std::uint64_t
+EpochSeries::peakReadQueued() const
+{
+    std::uint64_t peak = 0;
+    for (const EpochSample& s : samples)
+        peak = std::max(peak, s.readQueued);
+    return peak;
+}
+
+std::uint64_t
+EpochSeries::peakWriteQueued() const
+{
+    std::uint64_t peak = 0;
+    for (const EpochSample& s : samples)
+        peak = std::max(peak, s.writeQueued);
+    return peak;
+}
+
+std::uint64_t
+EpochSeries::peakPendingCorrections() const
+{
+    std::uint64_t peak = 0;
+    for (const EpochSample& s : samples)
+        peak = std::max(peak, s.pendingCorrections);
+    return peak;
+}
+
+EpochSampler::EpochSampler(EventQueue& events,
+                           const MemoryController& ctrl, Tick epoch_ticks,
+                           TraceSink* sink)
+    : events_(events), ctrl_(ctrl), trace_(sink)
+{
+    SDPCM_ASSERT(epoch_ticks > 0, "epoch interval must be positive");
+    series_.epochTicks = epoch_ticks;
+}
+
+void
+EpochSampler::start()
+{
+    prev_ = capture(ctrl_.stats());
+    events_.setTickHook(series_.epochTicks,
+                        [this](Tick now) { takeSample(now); });
+}
+
+void
+EpochSampler::finalize()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+    events_.setTickHook(0, {});
+    // Capture the tail partial epoch (activity since the last boundary).
+    const Tick last = series_.samples.empty()
+        ? 0 : series_.samples.back().tick;
+    if (events_.now() > last || series_.samples.empty())
+        takeSample(events_.now());
+}
+
+EpochSampler::Counters
+EpochSampler::capture(const CtrlStats& s)
+{
+    Counters c;
+    c.readsServiced = s.readsServiced;
+    c.readsForwarded = s.readsForwarded;
+    c.writesAccepted = s.writesAccepted;
+    c.writesCompleted = s.writesCompleted;
+    c.writeDrains = s.writeDrains;
+    c.ecpUpdates = s.ecpUpdates;
+    c.correctionWrites = s.correctionWrites;
+    c.writeCancellations = s.writeCancellations;
+    c.cyclesRead = s.cyclesRead;
+    c.cyclesPreRead = s.cyclesPreRead;
+    c.cyclesWrite = s.cyclesWrite;
+    c.cyclesVerify = s.cyclesVerify;
+    c.cyclesCorrection = s.cyclesCorrection;
+    c.cyclesEcp = s.cyclesEcp;
+    return c;
+}
+
+void
+EpochSampler::takeSample(Tick now)
+{
+    const Counters cur = capture(ctrl_.stats());
+    EpochSample s;
+    s.tick = now;
+    s.readsServiced = cur.readsServiced - prev_.readsServiced;
+    s.readsForwarded = cur.readsForwarded - prev_.readsForwarded;
+    s.writesAccepted = cur.writesAccepted - prev_.writesAccepted;
+    s.writesCompleted = cur.writesCompleted - prev_.writesCompleted;
+    s.writeDrains = cur.writeDrains - prev_.writeDrains;
+    s.ecpUpdates = cur.ecpUpdates - prev_.ecpUpdates;
+    s.correctionWrites = cur.correctionWrites - prev_.correctionWrites;
+    s.writeCancellations =
+        cur.writeCancellations - prev_.writeCancellations;
+    s.cyclesRead = cur.cyclesRead - prev_.cyclesRead;
+    s.cyclesPreRead = cur.cyclesPreRead - prev_.cyclesPreRead;
+    s.cyclesWrite = cur.cyclesWrite - prev_.cyclesWrite;
+    s.cyclesVerify = cur.cyclesVerify - prev_.cyclesVerify;
+    s.cyclesCorrection = cur.cyclesCorrection - prev_.cyclesCorrection;
+    s.cyclesEcp = cur.cyclesEcp - prev_.cyclesEcp;
+    prev_ = cur;
+
+    for (unsigned b = 0; b < ctrl_.numBanks(); ++b) {
+        const std::uint64_t rq = ctrl_.readQueueDepth(b);
+        const std::uint64_t wq = ctrl_.writeQueueDepth(b);
+        s.readQueued += rq;
+        s.writeQueued += wq;
+        s.maxBankWriteQueue = std::max(s.maxBankWriteQueue, wq);
+    }
+    s.pendingCorrections = ctrl_.pendingCorrections();
+    series_.samples.push_back(s);
+
+    if (trace_) {
+        trace_->counter("queues", now,
+                        {{"reads_queued",
+                          static_cast<double>(s.readQueued)},
+                         {"writes_queued",
+                          static_cast<double>(s.writeQueued)},
+                         {"pending_corrections",
+                          static_cast<double>(s.pendingCorrections)}});
+        trace_->counter("throughput", now,
+                        {{"reads_serviced",
+                          static_cast<double>(s.readsServiced)},
+                         {"writes_completed",
+                          static_cast<double>(s.writesCompleted)}});
+    }
+}
+
+} // namespace sdpcm

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Epoch-sampled time series of controller activity.
+ *
+ * The end-of-run totals in CtrlStats hide the temporal structure the
+ * SD-PCM mechanisms live in — LazyCorrection parking errors until a
+ * burst of overflows, PreRead racing bank-idle windows, drains blocking
+ * reads. The EpochSampler rides the EventQueue's tick hook: at the first
+ * event on or after every epoch boundary it records the *delta* of each
+ * counter since the previous sample plus instantaneous queue gauges, so
+ * a run yields a time series instead of one aggregate. Summing any delta
+ * column over all samples reproduces the final CtrlStats total exactly
+ * (tested), and the samples can be dumped as CSV or JSON or mirrored
+ * into a ChromeTraceSink as counter tracks.
+ *
+ * Sampling is driven by event arrival, not wall ticks: in a quiet window
+ * samples are simply spaced further apart (>= epochTicks), and a drained
+ * queue ends the run without the sampler keeping it alive.
+ */
+
+#ifndef SDPCM_OBS_EPOCH_SAMPLER_HH
+#define SDPCM_OBS_EPOCH_SAMPLER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "controller/memctrl.hh"
+#include "obs/trace_sink.hh"
+#include "sim/event_queue.hh"
+
+namespace sdpcm {
+
+/** One epoch's worth of controller activity. */
+struct EpochSample
+{
+    Tick tick = 0; //!< sample time (end of the epoch)
+
+    // Counter deltas over the epoch.
+    std::uint64_t readsServiced = 0;
+    std::uint64_t readsForwarded = 0;
+    std::uint64_t writesAccepted = 0;
+    std::uint64_t writesCompleted = 0;
+    std::uint64_t writeDrains = 0;
+    std::uint64_t ecpUpdates = 0;
+    std::uint64_t correctionWrites = 0;
+    std::uint64_t writeCancellations = 0;
+    std::uint64_t cyclesRead = 0;
+    std::uint64_t cyclesPreRead = 0;
+    std::uint64_t cyclesWrite = 0;
+    std::uint64_t cyclesVerify = 0;
+    std::uint64_t cyclesCorrection = 0;
+    std::uint64_t cyclesEcp = 0;
+
+    // Instantaneous gauges at the sample time.
+    std::uint64_t readQueued = 0;      //!< pending reads, all banks
+    std::uint64_t writeQueued = 0;     //!< queued writes, all banks
+    std::uint64_t maxBankWriteQueue = 0;
+    std::uint64_t pendingCorrections = 0;
+};
+
+/** The in-memory time series a run produces (carried by RunMetrics). */
+struct EpochSeries
+{
+    Tick epochTicks = 0; //!< 0 when sampling was disabled
+    std::vector<EpochSample> samples;
+
+    bool enabled() const { return epochTicks > 0; }
+
+    /** Column names, in the order dumpCsv() writes them. */
+    static const std::vector<std::string>& columns();
+
+    void dumpCsv(std::ostream& os) const;
+    void dumpJson(std::ostream& os) const;
+
+    // Aggregates over the series (epoch-derived run statistics).
+    std::uint64_t peakReadQueued() const;
+    std::uint64_t peakWriteQueued() const;
+    std::uint64_t peakPendingCorrections() const;
+};
+
+/** Samples controller counters every epoch via the EventQueue hook. */
+class EpochSampler
+{
+  public:
+    /**
+     * @param sink optional: also emit queue/throughput counter tracks
+     *             into the trace.
+     */
+    EpochSampler(EventQueue& events, const MemoryController& ctrl,
+                 Tick epoch_ticks, TraceSink* sink = nullptr);
+
+    /** Install the tick hook; call once before the run starts. */
+    void start();
+
+    /** Record the final partial epoch; call after the run drains. */
+    void finalize();
+
+    const EpochSeries& series() const { return series_; }
+
+  private:
+    /** The counter subset we delta (cheap to copy every epoch). */
+    struct Counters
+    {
+        std::uint64_t readsServiced = 0;
+        std::uint64_t readsForwarded = 0;
+        std::uint64_t writesAccepted = 0;
+        std::uint64_t writesCompleted = 0;
+        std::uint64_t writeDrains = 0;
+        std::uint64_t ecpUpdates = 0;
+        std::uint64_t correctionWrites = 0;
+        std::uint64_t writeCancellations = 0;
+        std::uint64_t cyclesRead = 0;
+        std::uint64_t cyclesPreRead = 0;
+        std::uint64_t cyclesWrite = 0;
+        std::uint64_t cyclesVerify = 0;
+        std::uint64_t cyclesCorrection = 0;
+        std::uint64_t cyclesEcp = 0;
+    };
+
+    static Counters capture(const CtrlStats& stats);
+    void takeSample(Tick now);
+
+    EventQueue& events_;
+    const MemoryController& ctrl_;
+    TraceSink* trace_;
+    EpochSeries series_;
+    Counters prev_;
+    bool finalized_ = false;
+};
+
+} // namespace sdpcm
+
+#endif // SDPCM_OBS_EPOCH_SAMPLER_HH

@@ -1,0 +1,175 @@
+#include "obs/trace_sink.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sdpcm {
+
+namespace {
+
+/** Escape the characters JSON strings cannot contain verbatim. */
+void
+writeJsonString(std::ostream& os, const std::string& s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            os << c;
+        }
+    }
+    os << '"';
+}
+
+/** JSON has no NaN/Inf literals; clamp to null-safe numbers. */
+void
+writeJsonNumber(std::ostream& os, double v)
+{
+    if (std::isnan(v) || std::isinf(v))
+        os << 0;
+    else if (v == std::floor(v) && std::abs(v) < 1e15)
+        os << static_cast<long long>(v);
+    else
+        os << v;
+}
+
+} // namespace
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path)
+    : owned_(path), os_(&owned_)
+{
+    SDPCM_ASSERT(owned_.good(), "cannot open trace file: ", path);
+    *os_ << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+}
+
+ChromeTraceSink::ChromeTraceSink(std::ostream& os) : os_(&os)
+{
+    *os_ << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+}
+
+ChromeTraceSink::~ChromeTraceSink()
+{
+    close();
+}
+
+void
+ChromeTraceSink::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    *os_ << "\n]}\n";
+    os_->flush();
+}
+
+void
+ChromeTraceSink::flush()
+{
+    os_->flush();
+}
+
+void
+ChromeTraceSink::openEvent(const char* ph, Tick ts)
+{
+    SDPCM_ASSERT(!closed_, "trace event after close");
+    *os_ << (first_ ? "\n" : ",\n");
+    first_ = false;
+    *os_ << "{\"ph\":\"" << ph << "\",\"pid\":0,\"ts\":" << ts;
+}
+
+void
+ChromeTraceSink::writeArgs(std::initializer_list<TraceArg> args)
+{
+    if (args.size() == 0)
+        return;
+    *os_ << ",\"args\":{";
+    bool first = true;
+    for (const TraceArg& a : args) {
+        if (!first)
+            *os_ << ',';
+        first = false;
+        writeJsonString(*os_, a.key);
+        *os_ << ':';
+        writeJsonNumber(*os_, a.value);
+    }
+    *os_ << '}';
+}
+
+void
+ChromeTraceSink::closeEvent()
+{
+    *os_ << '}';
+}
+
+void
+ChromeTraceSink::threadName(unsigned tid, const std::string& name)
+{
+    openEvent("M", 0);
+    *os_ << ",\"tid\":" << tid
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    writeJsonString(*os_, name);
+    *os_ << '}';
+    closeEvent();
+}
+
+void
+ChromeTraceSink::begin(unsigned tid, const char* name, const char* cat,
+                       Tick ts, std::initializer_list<TraceArg> args)
+{
+    openEvent("B", ts);
+    *os_ << ",\"tid\":" << tid << ",\"name\":";
+    writeJsonString(*os_, name);
+    *os_ << ",\"cat\":";
+    writeJsonString(*os_, cat);
+    writeArgs(args);
+    closeEvent();
+}
+
+void
+ChromeTraceSink::end(unsigned tid, Tick ts,
+                     std::initializer_list<TraceArg> args)
+{
+    openEvent("E", ts);
+    *os_ << ",\"tid\":" << tid;
+    writeArgs(args);
+    closeEvent();
+}
+
+void
+ChromeTraceSink::instant(unsigned tid, const char* name, const char* cat,
+                         Tick ts, std::initializer_list<TraceArg> args)
+{
+    openEvent("i", ts);
+    *os_ << ",\"tid\":" << tid << ",\"s\":\"t\",\"name\":";
+    writeJsonString(*os_, name);
+    *os_ << ",\"cat\":";
+    writeJsonString(*os_, cat);
+    writeArgs(args);
+    closeEvent();
+}
+
+void
+ChromeTraceSink::counter(const char* name, Tick ts,
+                         std::initializer_list<TraceArg> series)
+{
+    openEvent("C", ts);
+    *os_ << ",\"tid\":0,\"name\":";
+    writeJsonString(*os_, name);
+    writeArgs(series);
+    closeEvent();
+}
+
+} // namespace sdpcm

@@ -29,6 +29,8 @@ PcmDevice::PcmDevice(const DeviceConfig& config)
     SDPCM_ASSERT(config_.aging.ageFraction >= 0.0 &&
                  config_.aging.ageFraction <= 1.0,
                  "age fraction must be in [0,1]");
+    SDPCM_ASSERT(!(config_.dinEnabled && config_.fnwEnabled),
+                 "DIN and FNW encoding are mutually exclusive");
     hardErrorMean_ = config_.aging.meanHardPerLineAtEol *
         std::pow(config_.aging.ageFraction, config_.aging.exponent);
     banks_.resize(config_.geometry.banks());
@@ -114,6 +116,8 @@ PcmDevice::peekLine(const LineAddr& addr)
     ls.ecp.apply(data);
     if (config_.dinEnabled)
         return din_.decode(data, ls.dinFlags);
+    if (config_.fnwEnabled)
+        return fnw_.decode(data, ls.dinFlags);
     return data;
 }
 
@@ -126,6 +130,10 @@ PcmDevice::planWrite(const LineAddr& addr, const LineData& new_logical)
 
     if (config_.dinEnabled) {
         const auto enc = din_.encode(new_logical, ls.physical);
+        plan.intendedPhysical = enc.physical;
+        plan.targetFlags = enc.flags;
+    } else if (config_.fnwEnabled) {
+        const auto enc = fnw_.encode(new_logical, ls.physical);
         plan.intendedPhysical = enc.physical;
         plan.targetFlags = enc.flags;
     } else {
@@ -450,6 +458,8 @@ PcmDevice::recordWdInEcp(const LineAddr& addr,
         else
             all_fit = false;
     }
+    if (!all_fit)
+        stats_.ecpOverflows += 1;
     const auto& entries = ls.ecp.entries();
     for (std::size_t slot = 0; slot < ls.ecp.capacity(); ++slot) {
         const std::uint16_t image = slot < entries.size()

@@ -28,6 +28,7 @@
 #include "common/stats.hh"
 #include "encoding/diffwrite.hh"
 #include "encoding/din.hh"
+#include "encoding/fnw.hh"
 #include "pcm/address.hh"
 #include "pcm/ecp.hh"
 #include "pcm/geometry.hh"
@@ -62,6 +63,13 @@ struct DeviceConfig
     WdRates rates;          //!< set bitLine = 0 for the 8F^2 DIN design
     unsigned ecpEntries = 6;
     bool dinEnabled = true;
+    /**
+     * Use the Flip-N-Write group-inversion encoder on the data chip
+     * instead of DIN (mutually exclusive with dinEnabled). FNW minimises
+     * programmed cells but, unlike DIN, gives no word-line disturbance
+     * suppression — the full Table 1 rate applies.
+     */
+    bool fnwEnabled = false;
     DinConfig din;
     AgingConfig aging;
     std::uint64_t seed = 1;
@@ -82,6 +90,7 @@ struct DeviceStats
     std::uint64_t blDisturbances = 0; //!< bit-line WD errors injected
 
     std::uint64_t ecpWdRecorded = 0;  //!< WD errors parked in ECP
+    std::uint64_t ecpOverflows = 0;   //!< WD parking attempts that spilled
     std::uint64_t ecpBitsWritten = 0; //!< differential cell writes, ECP chip
     std::uint64_t ecpWdReleased = 0;  //!< WD entries cleared by writes
     std::uint64_t hardErrors = 0;     //!< stuck-at cells materialised
@@ -274,6 +283,7 @@ class PcmDevice
     DeviceConfig config_;
     AddressMap map_;
     DinEncoder din_;
+    FnwEncoder fnw_;
     Rng rng_;
     DeviceStats stats_;
     double hardErrorMean_;

@@ -45,6 +45,23 @@ class EventQueue
     bool empty() const { return heap_.empty(); }
     std::uint64_t processed() const { return processed_; }
 
+    /**
+     * Install a periodic observation hook: `hook(now)` runs before the
+     * first event at or after each multiple of `interval` ticks (epoch
+     * samplers, watchdogs). Unlike a self-rescheduling event, the hook
+     * never keeps the queue alive, so a drained queue still ends the
+     * run. The hook observes state only — it must not schedule events.
+     * An interval of 0 uninstalls.
+     */
+    void
+    setTickHook(Tick interval, std::function<void(Tick)> hook)
+    {
+        hookInterval_ = interval;
+        hook_ = std::move(hook);
+        nextHookTick_ = interval
+            ? (now_ / interval + 1) * interval : ~Tick(0);
+    }
+
     /** Pop and run the earliest event. @return false if queue is empty. */
     bool
     runNext()
@@ -56,6 +73,10 @@ class EventQueue
         Event ev = std::move(const_cast<Event&>(heap_.top()));
         heap_.pop();
         now_ = ev.when;
+        if (now_ >= nextHookTick_) {
+            hook_(now_);
+            nextHookTick_ = (now_ / hookInterval_ + 1) * hookInterval_;
+        }
         processed_ += 1;
         ev.cb();
         return true;
@@ -89,6 +110,9 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t processed_ = 0;
+    Tick hookInterval_ = 0;
+    Tick nextHookTick_ = ~Tick(0);
+    std::function<void(Tick)> hook_;
 };
 
 } // namespace sdpcm

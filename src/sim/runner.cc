@@ -31,6 +31,8 @@ runOne(const SchemeConfig& scheme, const WorkloadSpec& workload,
     sc.refsPerCore = cfg.refsPerCore;
     sc.seed = cfg.seed;
     sc.maxTicks = cfg.maxTicks;
+    sc.tracePath = cfg.tracePath;
+    sc.epochTicks = cfg.epochTicks;
     System system(sc, workload);
     system.run();
     return system.metrics();

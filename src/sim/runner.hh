@@ -30,6 +30,11 @@ struct RunnerConfig
     DinConfig din;     //!< encoder knobs (ablation studies)
     PcmTiming timing;  //!< device timing knobs (ablation studies)
     Tick maxTicks = ~Tick(0);
+
+    // Observability passthrough (see SystemConfig). tracePath applies to
+    // single runs (runOne); matrix runs would overwrite one file.
+    std::string tracePath;
+    Tick epochTicks = 0;
 };
 
 /** Run one (scheme, workload) pair and return its metrics. */

@@ -56,7 +56,10 @@ System::System(const SystemConfig& config, const WorkloadSpec& workload)
     dc.timing = config_.timing;
     dc.rates = ratesFor(config_.scheme, config_.thermal);
     dc.ecpEntries = config_.scheme.ecpEntries;
-    dc.dinEnabled = true; // DIN encoding is used by all compared schemes
+    // DIN is the encoder of all paper-compared schemes; FNW replaces it
+    // only in the explicit fnw ablation scheme.
+    dc.dinEnabled = !config_.scheme.fnwEncoding;
+    dc.fnwEnabled = config_.scheme.fnwEncoding;
     dc.din = config_.din;
     dc.aging = config_.aging;
     dc.seed = config_.seed;
@@ -66,6 +69,17 @@ System::System(const SystemConfig& config, const WorkloadSpec& workload)
                                                config_.scheme,
                                                config_.seed);
     allocator_ = std::make_unique<PageAllocatorSystem>(config_.geometry);
+
+    if (!config_.tracePath.empty()) {
+        traceSink_ = std::make_unique<ChromeTraceSink>(config_.tracePath);
+        for (unsigned b = 0; b < ctrl_->numBanks(); ++b)
+            traceSink_->threadName(b, "bank " + std::to_string(b));
+        ctrl_->setTraceSink(traceSink_.get());
+    }
+    if (config_.epochTicks > 0) {
+        epochSampler_ = std::make_unique<EpochSampler>(
+            events_, *ctrl_, config_.epochTicks, traceSink_.get());
+    }
 
     for (unsigned c = 0; c < config_.cores; ++c) {
         mmus_.push_back(std::make_unique<Mmu>(
@@ -81,9 +95,15 @@ System::System(const SystemConfig& config, const WorkloadSpec& workload)
 void
 System::run()
 {
+    if (epochSampler_)
+        epochSampler_->start();
     for (auto& core : cores_)
         core->start();
     events_.run(config_.maxTicks);
+    if (epochSampler_)
+        epochSampler_->finalize();
+    if (traceSink_)
+        traceSink_->close();
 
     // With the drain-on-full policy a never-filled queue legitimately
     // retains buffered writes at the end of the run; anything beyond one
@@ -125,6 +145,8 @@ RunMetrics::toSnapshot() const
           static_cast<double>(device.blDisturbances));
     s.set("device.ecpWdRecorded",
           static_cast<double>(device.ecpWdRecorded));
+    s.set("device.ecpOverflows",
+          static_cast<double>(device.ecpOverflows));
     s.set("device.ecpBitsWritten",
           static_cast<double>(device.ecpBitsWritten));
     s.set("device.ecpWdReleased",
@@ -168,8 +190,17 @@ RunMetrics::toSnapshot() const
           static_cast<double>(ctrl.writeCancellations));
     s.set("ctrl.readLatency.mean", ctrl.readLatency.mean());
     s.set("ctrl.readLatency.max", ctrl.readLatency.max());
+    s.set("read_latency_p50", ctrl.readLatency.percentile(0.50));
+    s.set("read_latency_p95", ctrl.readLatency.percentile(0.95));
+    s.set("read_latency_p99", ctrl.readLatency.percentile(0.99));
     s.set("ctrl.writeServiceLatency.mean",
           ctrl.writeServiceLatency.mean());
+    s.set("write_service_latency_p50",
+          ctrl.writeServiceLatency.percentile(0.50));
+    s.set("write_service_latency_p95",
+          ctrl.writeServiceLatency.percentile(0.95));
+    s.set("write_service_latency_p99",
+          ctrl.writeServiceLatency.percentile(0.99));
     s.set("ctrl.cycles.read", static_cast<double>(ctrl.cyclesRead));
     s.set("ctrl.cycles.preRead",
           static_cast<double>(ctrl.cyclesPreRead));
@@ -179,6 +210,18 @@ RunMetrics::toSnapshot() const
           static_cast<double>(ctrl.cyclesCorrection));
     s.set("ctrl.cycles.ecp", static_cast<double>(ctrl.cyclesEcp));
     s.set("derived.correctionsPerWrite", correctionsPerWrite());
+
+    if (epochs.enabled()) {
+        s.set("epoch.ticks", static_cast<double>(epochs.epochTicks));
+        s.set("epoch.samples",
+              static_cast<double>(epochs.samples.size()));
+        s.set("epoch.peakReadQueued",
+              static_cast<double>(epochs.peakReadQueued()));
+        s.set("epoch.peakWriteQueued",
+              static_cast<double>(epochs.peakWriteQueued()));
+        s.set("epoch.peakPendingCorrections",
+              static_cast<double>(epochs.peakPendingCorrections()));
+    }
     return s;
 }
 
@@ -197,6 +240,8 @@ System::metrics() const
     m.finalTick = events_.now();
     m.device = device_->stats();
     m.ctrl = ctrl_->stats();
+    if (epochSampler_)
+        m.epochs = epochSampler_->series();
     return m;
 }
 

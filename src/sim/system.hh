@@ -14,6 +14,8 @@
 
 #include "controller/memctrl.hh"
 #include "cpu/core.hh"
+#include "obs/epoch_sampler.hh"
+#include "obs/trace_sink.hh"
 #include "os/buddy.hh"
 #include "os/page_table.hh"
 #include "pcm/device.hh"
@@ -52,6 +54,12 @@ struct SystemConfig
     std::uint64_t seed = 1;
     unsigned tlbEntries = 64;
     Tick maxTicks = ~Tick(0);
+
+    // --- Observability (both default off: zero-overhead fast path). ---
+    /** Write a Chrome trace-event JSON of bank activity to this path. */
+    std::string tracePath;
+    /** Sample controller counters every N ticks (0 disables). */
+    Tick epochTicks = 0;
 };
 
 /** Extracted results of one run. */
@@ -64,6 +72,7 @@ struct RunMetrics
     Tick finalTick = 0;
     DeviceStats device;
     CtrlStats ctrl;
+    EpochSeries epochs; //!< empty unless SystemConfig::epochTicks > 0
 
     /** Correction writes per completed data write (Figure 12). */
     double
@@ -101,6 +110,8 @@ class System
     MemoryController& controller() { return *ctrl_; }
     PageAllocatorSystem& allocator() { return *allocator_; }
     EventQueue& events() { return events_; }
+    /** The attached trace sink, or null when tracing is off. */
+    TraceSink* traceSink() { return traceSink_.get(); }
     const WdModel& wdModel() const { return wdModel_; }
     const std::vector<std::unique_ptr<TraceCore>>& cores() const
     {
@@ -118,6 +129,8 @@ class System
     EventQueue events_;
     std::unique_ptr<PcmDevice> device_;
     std::unique_ptr<MemoryController> ctrl_;
+    std::unique_ptr<ChromeTraceSink> traceSink_;
+    std::unique_ptr<EpochSampler> epochSampler_;
     std::unique_ptr<PageAllocatorSystem> allocator_;
     std::vector<std::unique_ptr<Mmu>> mmus_;
     std::vector<std::unique_ptr<TraceStream>> streams_;

@@ -231,8 +231,9 @@ TEST_P(BuddyRatioSweep, AllocFreeRoundTripPreservesFreeFrames)
     std::uint64_t reclaimed = 0;
     while (arr.reclaimBlock())
         reclaimed += 1;
-    if (!ratio.isFull())
+    if (!ratio.isFull()) {
         EXPECT_GE(reclaimed, 1u);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

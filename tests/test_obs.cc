@@ -1,0 +1,657 @@
+/**
+ * @file
+ * Observability subsystem tests: Chrome trace JSON shape and ordering,
+ * epoch time-series conservation against the end-of-run totals, and the
+ * quantile estimators against exact-sort oracles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "obs/epoch_sampler.hh"
+#include "obs/trace_sink.hh"
+#include "sim/event_queue.hh"
+#include "sim/runner.hh"
+
+namespace sdpcm {
+namespace {
+
+// ---------------------------------------------------------------------
+// A minimal JSON value + recursive-descent parser, enough to validate
+// the trace files we emit (objects, arrays, strings, numbers, no
+// unicode escapes). Throws std::runtime_error on malformed input so a
+// bad trace fails the test loudly.
+// ---------------------------------------------------------------------
+
+struct Json
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Json> array;
+    std::map<std::string, Json> object;
+
+    bool has(const std::string& key) const
+    {
+        return type == Type::Object && object.count(key) > 0;
+    }
+    const Json& at(const std::string& key) const { return object.at(key); }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string& text) : text_(text) {}
+
+    Json parse()
+    {
+        const Json v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const char* why) const
+    {
+        throw std::runtime_error("JSON error at byte " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                text_[pos_] == '\t' || text_[pos_] == '\r')) {
+            pos_ += 1;
+        }
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        pos_ += 1;
+    }
+
+    Json value()
+    {
+        skipWs();
+        const char c = peek();
+        if (c == '{')
+            return objectValue();
+        if (c == '[')
+            return arrayValue();
+        if (c == '"')
+            return stringValue();
+        if (c == 't' || c == 'f')
+            return boolValue();
+        if (c == 'n')
+            return nullValue();
+        return numberValue();
+    }
+
+    Json objectValue()
+    {
+        Json v;
+        v.type = Json::Type::Object;
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            pos_ += 1;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            Json key = stringValue();
+            skipWs();
+            expect(':');
+            v.object[key.str] = value();
+            skipWs();
+            if (peek() == ',') {
+                pos_ += 1;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Json arrayValue()
+    {
+        Json v;
+        v.type = Json::Type::Array;
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            pos_ += 1;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(value());
+            skipWs();
+            if (peek() == ',') {
+                pos_ += 1;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    Json stringValue()
+    {
+        Json v;
+        v.type = Json::Type::String;
+        expect('"');
+        while (peek() != '"') {
+            char c = text_[pos_];
+            pos_ += 1;
+            if (c == '\\') {
+                const char esc = peek();
+                pos_ += 1;
+                switch (esc) {
+                  case 'n':
+                    c = '\n';
+                    break;
+                  case 't':
+                    c = '\t';
+                    break;
+                  case '"':
+                  case '\\':
+                  case '/':
+                    c = esc;
+                    break;
+                  default:
+                    fail("unsupported escape");
+                }
+            }
+            v.str.push_back(c);
+        }
+        pos_ += 1;
+        return v;
+    }
+
+    Json boolValue()
+    {
+        Json v;
+        v.type = Json::Type::Bool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            v.boolean = true;
+            pos_ += 4;
+        } else if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    Json nullValue()
+    {
+        if (text_.compare(pos_, 4, "null") != 0)
+            fail("bad literal");
+        pos_ += 4;
+        return Json{};
+    }
+
+    Json numberValue()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+            pos_ += 1;
+        }
+        if (pos_ == start)
+            fail("expected a value");
+        Json v;
+        v.type = Json::Type::Number;
+        v.number = std::stod(text_.substr(start, pos_ - start));
+        return v;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+Json
+parseFile(const std::string& path)
+{
+    std::ifstream is(path);
+    EXPECT_TRUE(is.good()) << "cannot open " << path;
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string text = buf.str();
+    return JsonParser(text).parse();
+}
+
+// ---------------------------------------------------------------------
+// Trace sink
+// ---------------------------------------------------------------------
+
+TEST(ChromeTraceSink, EmitsParsableEvents)
+{
+    std::ostringstream os;
+    {
+        ChromeTraceSink sink(os);
+        sink.threadName(0, "bank 0");
+        sink.begin(0, "Read", "bank", 100, {});
+        sink.instant(0, "write_cancel", "ctrl", 150, {{"elapsed", 50.0}});
+        sink.end(0, 500, {});
+        sink.counter("queues", 500, {{"read", 3.0}, {"write", 7.0}});
+        sink.close();
+    }
+    const std::string text = os.str();
+    const Json root = JsonParser(text).parse();
+
+    ASSERT_TRUE(root.has("traceEvents"));
+    EXPECT_TRUE(root.has("displayTimeUnit"));
+    const auto& evs = root.at("traceEvents").array;
+    ASSERT_EQ(evs.size(), 5u);
+
+    EXPECT_EQ(evs[0].at("ph").str, "M");
+    EXPECT_EQ(evs[0].at("name").str, "thread_name");
+    EXPECT_EQ(evs[0].at("args").at("name").str, "bank 0");
+
+    EXPECT_EQ(evs[1].at("ph").str, "B");
+    EXPECT_EQ(evs[1].at("name").str, "Read");
+    EXPECT_EQ(evs[1].at("cat").str, "bank");
+    EXPECT_EQ(evs[1].at("ts").number, 100.0);
+    EXPECT_EQ(evs[1].at("tid").number, 0.0);
+
+    EXPECT_EQ(evs[2].at("ph").str, "i");
+    EXPECT_EQ(evs[2].at("s").str, "t");
+    EXPECT_EQ(evs[2].at("args").at("elapsed").number, 50.0);
+
+    EXPECT_EQ(evs[3].at("ph").str, "E");
+    EXPECT_EQ(evs[3].at("ts").number, 500.0);
+
+    EXPECT_EQ(evs[4].at("ph").str, "C");
+    EXPECT_EQ(evs[4].at("args").at("read").number, 3.0);
+    EXPECT_EQ(evs[4].at("args").at("write").number, 7.0);
+}
+
+TEST(ChromeTraceSink, EscapesStrings)
+{
+    std::ostringstream os;
+    {
+        ChromeTraceSink sink(os);
+        sink.threadName(1, "a\"b\\c\nd");
+        sink.close();
+    }
+    const Json root = JsonParser(os.str()).parse();
+    EXPECT_EQ(root.at("traceEvents").array.at(0).at("args").at("name").str,
+              "a\"b\\c\nd");
+}
+
+/** Full-system trace: well-formed, known names, per-bank tick order. */
+TEST(TraceIntegration, SystemTraceIsValidAndOrdered)
+{
+    const std::string path = ::testing::TempDir() + "sdpcm_obs_test.json";
+    RunnerConfig cfg;
+    cfg.refsPerCore = 2000;
+    cfg.cores = 4;
+    cfg.seed = 7;
+    cfg.tracePath = path;
+    const auto m = runOne(SchemeConfig::lazyCPreRead(),
+                          workloadFromProfile("mcf"), cfg);
+    ASSERT_GT(m.ctrl.readsServiced, 0u);
+
+    const Json root = parseFile(path);
+    ASSERT_TRUE(root.has("traceEvents"));
+    const auto& evs = root.at("traceEvents").array;
+    ASSERT_GT(evs.size(), 100u) << "trace suspiciously small";
+
+    const std::vector<std::string> op_names = {
+        "Read",           "PreRead",    "WriteRound", "VerifyRead",
+        "CorrectionRound", "CascadeRead", "EcpUpdate"};
+    const std::vector<std::string> instant_names = {
+        "write_cancel", "drain_start", "ecp_overflow", "cascade_spike"};
+
+    std::map<unsigned, double> last_ts;
+    std::map<unsigned, int> depth;
+    std::size_t durations = 0;
+    for (const Json& e : evs) {
+        ASSERT_TRUE(e.has("ph"));
+        ASSERT_TRUE(e.has("pid"));
+        ASSERT_TRUE(e.has("ts"));
+        ASSERT_TRUE(e.has("tid"));
+        const std::string& ph = e.at("ph").str;
+        const auto tid = static_cast<unsigned>(e.at("tid").number);
+        if (ph == "M")
+            continue;
+
+        // Events on one bank lane appear in non-decreasing tick order
+        // (we emit B/E pairs live, never retroactive complete events).
+        const double ts = e.at("ts").number;
+        if (last_ts.count(tid)) {
+            EXPECT_GE(ts, last_ts[tid]) << "tid " << tid;
+        }
+        last_ts[tid] = ts;
+
+        if (ph == "B") {
+            durations += 1;
+            EXPECT_EQ(std::count(op_names.begin(), op_names.end(),
+                                 e.at("name").str),
+                      1)
+                << "unknown op " << e.at("name").str;
+            depth[tid] += 1;
+            EXPECT_EQ(depth[tid], 1) << "overlapping ops on tid " << tid;
+        } else if (ph == "E") {
+            depth[tid] -= 1;
+            EXPECT_EQ(depth[tid], 0) << "E without B on tid " << tid;
+        } else if (ph == "i") {
+            EXPECT_EQ(std::count(instant_names.begin(),
+                                 instant_names.end(), e.at("name").str),
+                      1)
+                << "unknown marker " << e.at("name").str;
+        } else {
+            EXPECT_EQ(ph, "C") << "unexpected phase " << ph;
+        }
+    }
+    EXPECT_GT(durations, 0u);
+    // The run drains completely, so every occupancy closed.
+    for (const auto& [tid, d] : depth)
+        EXPECT_EQ(d, 0) << "unclosed op on tid " << tid;
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Epoch sampling
+// ---------------------------------------------------------------------
+
+RunMetrics
+epochRun(Tick epoch_ticks, const char* workload = "mcf")
+{
+    RunnerConfig cfg;
+    cfg.refsPerCore = 2000;
+    cfg.cores = 4;
+    cfg.seed = 11;
+    cfg.epochTicks = epoch_ticks;
+    return runOne(SchemeConfig::lazyCPreReadNm(NmRatio{2, 3}),
+                  workloadFromProfile(workload), cfg);
+}
+
+/** Each delta column, summed over all samples, equals the run total. */
+TEST(EpochSampler, DeltasSumToFinalTotals)
+{
+    const RunMetrics m = epochRun(50000);
+    ASSERT_TRUE(m.epochs.enabled());
+    ASSERT_GT(m.epochs.samples.size(), 2u);
+
+    EpochSample sum;
+    Tick prev_tick = 0;
+    for (const EpochSample& s : m.epochs.samples) {
+        EXPECT_GT(s.tick, prev_tick) << "samples not strictly ordered";
+        prev_tick = s.tick;
+        sum.readsServiced += s.readsServiced;
+        sum.readsForwarded += s.readsForwarded;
+        sum.writesAccepted += s.writesAccepted;
+        sum.writesCompleted += s.writesCompleted;
+        sum.writeDrains += s.writeDrains;
+        sum.ecpUpdates += s.ecpUpdates;
+        sum.correctionWrites += s.correctionWrites;
+        sum.writeCancellations += s.writeCancellations;
+        sum.cyclesRead += s.cyclesRead;
+        sum.cyclesPreRead += s.cyclesPreRead;
+        sum.cyclesWrite += s.cyclesWrite;
+        sum.cyclesVerify += s.cyclesVerify;
+        sum.cyclesCorrection += s.cyclesCorrection;
+        sum.cyclesEcp += s.cyclesEcp;
+    }
+    EXPECT_EQ(sum.readsServiced, m.ctrl.readsServiced);
+    EXPECT_EQ(sum.readsForwarded, m.ctrl.readsForwarded);
+    EXPECT_EQ(sum.writesAccepted, m.ctrl.writesAccepted);
+    EXPECT_EQ(sum.writesCompleted, m.ctrl.writesCompleted);
+    EXPECT_EQ(sum.writeDrains, m.ctrl.writeDrains);
+    EXPECT_EQ(sum.ecpUpdates, m.ctrl.ecpUpdates);
+    EXPECT_EQ(sum.correctionWrites, m.ctrl.correctionWrites);
+    EXPECT_EQ(sum.writeCancellations, m.ctrl.writeCancellations);
+    EXPECT_EQ(sum.cyclesRead, m.ctrl.cyclesRead);
+    EXPECT_EQ(sum.cyclesPreRead, m.ctrl.cyclesPreRead);
+    EXPECT_EQ(sum.cyclesWrite, m.ctrl.cyclesWrite);
+    EXPECT_EQ(sum.cyclesVerify, m.ctrl.cyclesVerify);
+    EXPECT_EQ(sum.cyclesCorrection, m.ctrl.cyclesCorrection);
+    EXPECT_EQ(sum.cyclesEcp, m.ctrl.cyclesEcp);
+}
+
+TEST(EpochSampler, CsvShapeMatchesColumns)
+{
+    const RunMetrics m = epochRun(100000);
+    std::ostringstream os;
+    m.epochs.dumpCsv(os);
+    std::istringstream is(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(is, line));
+
+    std::string expected_header;
+    for (const auto& c : EpochSeries::columns())
+        expected_header += (expected_header.empty() ? "" : ",") + c;
+    EXPECT_EQ(line, expected_header);
+
+    const auto commas = static_cast<long>(
+        std::count(line.begin(), line.end(), ','));
+    std::size_t rows = 0;
+    while (std::getline(is, line)) {
+        EXPECT_EQ(std::count(line.begin(), line.end(), ','), commas);
+        rows += 1;
+    }
+    EXPECT_EQ(rows, m.epochs.samples.size());
+}
+
+TEST(EpochSampler, JsonDumpParses)
+{
+    const RunMetrics m = epochRun(100000);
+    std::ostringstream os;
+    m.epochs.dumpJson(os);
+    const std::string text = os.str();
+    const Json root = JsonParser(text).parse();
+    ASSERT_TRUE(root.has("epoch_ticks"));
+    EXPECT_EQ(root.at("epoch_ticks").number, 100000.0);
+    ASSERT_TRUE(root.has("samples"));
+    EXPECT_EQ(root.at("samples").array.size(), m.epochs.samples.size());
+    const Json& first = root.at("samples").array.at(0);
+    for (const auto& c : EpochSeries::columns())
+        EXPECT_TRUE(first.has(c)) << "missing column " << c;
+}
+
+TEST(EpochSampler, SnapshotCarriesPercentilesAndEpochStats)
+{
+    const RunMetrics m = epochRun(50000);
+    const StatSnapshot s = m.toSnapshot();
+    EXPECT_TRUE(s.has("read_latency_p50"));
+    EXPECT_TRUE(s.has("read_latency_p95"));
+    EXPECT_TRUE(s.has("read_latency_p99"));
+    EXPECT_TRUE(s.has("write_service_latency_p99"));
+    EXPECT_GE(s.get("read_latency_p99"), s.get("read_latency_p50"));
+    // Epoch-series-derived stats only appear when sampling ran.
+    EXPECT_TRUE(s.has("epoch.samples"));
+    EXPECT_TRUE(s.has("epoch.peakWriteQueued"));
+    EXPECT_GT(s.get("epoch.samples"), 0.0);
+
+    RunnerConfig off;
+    off.refsPerCore = 500;
+    off.cores = 2;
+    const auto m2 = runOne(SchemeConfig::baselineVnc(),
+                           workloadFromProfile("lbm"), off);
+    EXPECT_FALSE(m2.toSnapshot().has("epoch.samples"));
+}
+
+/** The tick hook must observe, not keep a drained queue alive. */
+TEST(EventQueue, TickHookFiresOnBoundariesAndStopsWithQueue)
+{
+    EventQueue q;
+    std::vector<Tick> hook_ticks;
+    q.setTickHook(10, [&](Tick t) { hook_ticks.push_back(t); });
+    for (Tick t : {3u, 9u, 12u, 25u, 26u, 40u})
+        q.schedule(t, [] {});
+    q.run();
+    // Fires at the first event at-or-after each boundary it crosses.
+    EXPECT_EQ(hook_ticks, (std::vector<Tick>{12, 25, 40}));
+    EXPECT_EQ(q.now(), 40u);
+}
+
+// ---------------------------------------------------------------------
+// Quantile estimators
+// ---------------------------------------------------------------------
+
+double
+exactPercentile(std::vector<std::uint64_t> v, double q)
+{
+    std::sort(v.begin(), v.end());
+    const auto idx = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(v.size())));
+    return static_cast<double>(v[std::min(idx ? idx - 1 : 0,
+                                          v.size() - 1)]);
+}
+
+TEST(QuantileSketch, SmallValuesAreExact)
+{
+    QuantileSketch s;
+    for (std::uint64_t v = 0; v < 16; ++v)
+        s.record(v);
+    EXPECT_EQ(s.count(), 16u);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 15.0);
+    // 8 of 16 values are <= 7.
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 7.0);
+}
+
+TEST(QuantileSketch, TracksSortOracleAcrossDistributions)
+{
+    std::mt19937_64 rng(1234);
+    struct Case
+    {
+        const char* name;
+        std::function<std::uint64_t()> draw;
+    };
+    std::uniform_int_distribution<std::uint64_t> uni(1, 100000);
+    std::exponential_distribution<double> exp_dist(1.0 / 3000.0);
+    std::lognormal_distribution<double> logn(6.0, 1.2);
+    const std::vector<Case> cases = {
+        {"uniform", [&] { return uni(rng); }},
+        {"exponential",
+         [&] { return static_cast<std::uint64_t>(exp_dist(rng)) + 1; }},
+        {"lognormal",
+         [&] { return static_cast<std::uint64_t>(logn(rng)) + 1; }},
+    };
+    for (const auto& c : cases) {
+        QuantileSketch sketch;
+        std::vector<std::uint64_t> oracle;
+        for (int i = 0; i < 20000; ++i) {
+            const std::uint64_t v = c.draw();
+            sketch.record(v);
+            oracle.push_back(v);
+        }
+        for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+            const double exact = exactPercentile(oracle, q);
+            const double approx = sketch.percentile(q);
+            // Log-linear buckets are 1/16 wide; midpoint reporting keeps
+            // the error well under 8%.
+            EXPECT_NEAR(approx, exact, exact * 0.08 + 1.0)
+                << c.name << " p" << q * 100;
+        }
+    }
+}
+
+TEST(QuantileSketch, MergeMatchesCombinedStream)
+{
+    std::mt19937_64 rng(99);
+    std::uniform_int_distribution<std::uint64_t> uni(1, 50000);
+    QuantileSketch a, b, all;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t v = uni(rng);
+        (i % 2 ? a : b).record(v);
+        all.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    for (const double q : {0.5, 0.95, 0.99})
+        EXPECT_DOUBLE_EQ(a.percentile(q), all.percentile(q));
+}
+
+TEST(Histogram, PercentileCountsOverflowAtMax)
+{
+    Histogram h(4);
+    for (int i = 0; i < 6; ++i)
+        h.record(0);
+    h.record(1);
+    h.record(2);
+    h.record(1000); // overflow -> counted at the max value (4)
+    h.record(2000);
+    EXPECT_EQ(h.total(), 10u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.7), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 4.0);
+}
+
+TEST(Histogram, BucketAccessorNeverThrows)
+{
+    Histogram h(4);
+    h.record(2);
+    h.record(99);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.bucket(4), 0u);   // overflow is tracked separately
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bucket(100), 0u); // out of range reads as empty
+}
+
+TEST(Histogram, EmptyPercentileIsZero)
+{
+    Histogram h(8);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    QuantileSketch s;
+    EXPECT_DOUBLE_EQ(s.percentile(0.99), 0.0);
+}
+
+TEST(LatencyStat, CombinesMomentsAndQuantiles)
+{
+    LatencyStat s;
+    for (int v = 1; v <= 100; ++v)
+        s.record(static_cast<double>(v));
+    EXPECT_EQ(s.count(), 100u);
+    EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 100.0);
+    EXPECT_NEAR(s.percentile(0.5), 50.0, 5.0);
+    EXPECT_NEAR(s.percentile(0.99), 99.0, 8.0);
+
+    LatencyStat other;
+    other.record(1000.0);
+    s.merge(other);
+    EXPECT_EQ(s.count(), 101u);
+    EXPECT_DOUBLE_EQ(s.max(), 1000.0);
+
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.percentile(0.99), 0.0);
+}
+
+} // namespace
+} // namespace sdpcm

@@ -33,9 +33,10 @@ TEST(Profiles, GemsFdtdFlipsFewerBits)
 {
     // Section 6.4 calls out gemsFDTD as changing fewer bits per write.
     for (const auto& p : table3Profiles()) {
-        if (p.name != "gemsFDTD")
+        if (p.name != "gemsFDTD") {
             EXPECT_LT(profileByName("gemsFDTD").flipDensity,
                       p.flipDensity);
+        }
     }
 }
 
