@@ -8,11 +8,14 @@
  *              10M — raise this for tighter statistics)
  *   --seed=N   RNG seed
  *   --cores=N  cores (default 8, per Table 2)
+ *   --jobs=N   concurrent (scheme, workload) runs (default: all host
+ *              cores; results are bit-identical for any value)
  */
 
 #ifndef SDPCM_BENCH_COMMON_HH
 #define SDPCM_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -21,6 +24,7 @@
 
 #include "common/args.hh"
 #include "common/table.hh"
+#include "sim/parallel.hh"
 #include "sim/runner.hh"
 
 namespace sdpcm {
@@ -35,6 +39,7 @@ configFromArgs(int argc, char** argv, std::int64_t default_refs = 10000)
         static_cast<std::uint64_t>(args.getInt("refs", default_refs));
     cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
     cfg.cores = static_cast<unsigned>(args.getInt("cores", 8));
+    cfg.jobs = static_cast<unsigned>(args.getInt("jobs", 0));
     return cfg;
 }
 
@@ -44,21 +49,37 @@ banner(const std::string& title, const RunnerConfig& cfg)
     std::cout << "=== " << title << " ===\n"
               << cfg.cores << " cores x " << cfg.refsPerCore
               << " memory references per core (use --refs=N to scale; "
-                 "the paper used 10M)\n\n";
+                 "the paper used 10M), "
+              << resolveJobs(cfg.jobs)
+              << " parallel runs (--jobs=N)\n\n";
 }
 
-/** Run several schemes over the standard workloads, with progress. */
+/**
+ * Run several schemes over the standard workloads, fanned out across
+ * `cfg.jobs` workers. Per-cell completion lines land on stderr in
+ * deterministic matrix order regardless of which run finishes first
+ * (each line is printed whole under the executor's progress lock, so
+ * lines never interleave), followed by a one-line wall-clock summary.
+ */
 inline std::vector<SchemeResults>
 runMatrix(const std::vector<SchemeConfig>& schemes,
           const RunnerConfig& cfg,
           const std::vector<WorkloadSpec>& workloads = standardWorkloads())
 {
-    std::vector<SchemeResults> results;
-    for (const auto& scheme : schemes) {
-        std::fprintf(stderr, "running scheme %-28s", scheme.name.c_str());
-        results.push_back(runScheme(scheme, workloads, cfg));
-        std::fprintf(stderr, " done\n");
-    }
+    const auto t0 = std::chrono::steady_clock::now();
+    auto results = sdpcm::runMatrix(
+        schemes, workloads, cfg, [](const MatrixProgress& p) {
+            std::fprintf(stderr, "[%3zu/%3zu] %-24s %s\n", p.done,
+                         p.total, p.scheme.c_str(), p.workload.c_str());
+        });
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    std::fprintf(stderr,
+                 "matrix done: %zu runs, %u jobs, %.2fs wall-clock\n",
+                 schemes.size() * workloads.size(),
+                 resolveJobs(cfg.jobs), seconds);
     return results;
 }
 

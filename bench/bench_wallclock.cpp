@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Wall-clock harness for the parallel run-matrix executor: times the
+ * same scheme x workload matrix serially (--jobs=1) and parallel
+ * (--jobs=N, default all host cores), checks the results are
+ * bit-identical, and writes BENCH_parallel.json so the perf trajectory
+ * is tracked across PRs.
+ *
+ *   bench_wallclock [--refs=N] [--jobs=N] [--full] [--out=FILE]
+ *
+ * Default matrix: 3 schemes x 4 workloads (fast smoke at --refs=2000,
+ * the quick-bench CMake target). --full runs the fig11 7-scheme matrix
+ * over all 9 Table 3 workloads.
+ */
+
+#include <chrono>
+#include <fstream>
+
+#include "bench_common.hh"
+
+using namespace sdpcm;
+using namespace sdpcm::bench;
+
+namespace {
+
+double
+timedMatrix(const std::vector<SchemeConfig>& schemes,
+            const std::vector<WorkloadSpec>& workloads,
+            const RunnerConfig& cfg, std::vector<SchemeResults>& out)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    out = runMatrix(schemes, workloads, cfg);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+bool
+identicalResults(const std::vector<SchemeResults>& a,
+                 const std::vector<SchemeResults>& b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t s = 0; s < a.size(); ++s) {
+        for (const auto& [name, metrics] : a[s].byWorkload) {
+            const auto it = b[s].byWorkload.find(name);
+            if (it == b[s].byWorkload.end())
+                return false;
+            if (metrics.toSnapshot().values() !=
+                it->second.toSnapshot().values()) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    ArgParser args(argc, argv);
+    RunnerConfig cfg = configFromArgs(argc, argv, 2000);
+    const bool full = args.has("full");
+    const std::string out_path =
+        args.getString("out", "BENCH_parallel.json");
+
+    std::vector<SchemeConfig> schemes;
+    std::vector<WorkloadSpec> workloads;
+    if (full) {
+        schemes = {SchemeConfig::din8F2(),
+                   SchemeConfig::baselineVnc(),
+                   SchemeConfig::lazyC(),
+                   SchemeConfig::lazyCPreRead(),
+                   SchemeConfig::lazyCNm(NmRatio{2, 3}),
+                   SchemeConfig::lazyCPreReadNm(NmRatio{2, 3}),
+                   SchemeConfig::nmOnly(NmRatio{1, 2})};
+        workloads = standardWorkloads();
+    } else {
+        schemes = {SchemeConfig::baselineVnc(),
+                   SchemeConfig::lazyCPreRead(),
+                   SchemeConfig::sdpcm()};
+        workloads = {workloadFromProfile("mcf"),
+                     workloadFromProfile("lbm"),
+                     workloadFromProfile("gemsFDTD"),
+                     workloadFromProfile("stream")};
+    }
+    const unsigned jobs = resolveJobs(cfg.jobs);
+    banner("Wall-clock: serial vs parallel matrix", cfg);
+    std::cout << schemes.size() << " schemes x " << workloads.size()
+              << " workloads\n\n";
+
+    RunnerConfig serial_cfg = cfg;
+    serial_cfg.jobs = 1;
+    std::vector<SchemeResults> serial_results;
+    const double serial_s =
+        timedMatrix(schemes, workloads, serial_cfg, serial_results);
+
+    RunnerConfig parallel_cfg = cfg;
+    parallel_cfg.jobs = jobs;
+    std::vector<SchemeResults> parallel_results;
+    const double parallel_s =
+        timedMatrix(schemes, workloads, parallel_cfg, parallel_results);
+
+    const bool identical =
+        identicalResults(serial_results, parallel_results);
+    if (!identical)
+        SDPCM_WARN("parallel results differ from serial — determinism "
+                   "regression!");
+    const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+
+    std::cout << "serial   : " << TablePrinter::fmt(serial_s, 3) << " s\n"
+              << "parallel : " << TablePrinter::fmt(parallel_s, 3)
+              << " s  (" << jobs << " jobs)\n"
+              << "speedup  : " << TablePrinter::fmt(speedup, 2) << "x\n"
+              << "identical: " << (identical ? "yes" : "NO") << "\n";
+
+    std::ofstream os(out_path);
+    if (!os)
+        SDPCM_FATAL("cannot open ", out_path);
+    os << "{\n"
+       << "  \"refs_per_core\": " << cfg.refsPerCore << ",\n"
+       << "  \"cores\": " << cfg.cores << ",\n"
+       << "  \"seed\": " << cfg.seed << ",\n"
+       << "  \"schemes\": " << schemes.size() << ",\n"
+       << "  \"workloads\": " << workloads.size() << ",\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"serial_seconds\": " << serial_s << ",\n"
+       << "  \"parallel_seconds\": " << parallel_s << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"identical\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+    std::cout << "\nwritten to " << out_path << "\n";
+    return identical ? 0 : 1;
+}

@@ -19,6 +19,8 @@
 #include <iostream>
 
 #include "common/args.hh"
+#include "common/table.hh"
+#include "sim/parallel.hh"
 #include "sim/runner.hh"
 #include "workload/generators.hh"
 #include "workload/trace_file.hh"
@@ -85,8 +87,15 @@ main(int argc, char** argv)
             "basic VnC with\n"
             "                    Flip-N-Write instead of DIN — no WL "
             "suppression)\n"
-            "  --workload=NAME   Table 3 profile (default mcf)\n"
+            "  --workload=NAME   Table 3 profile (default mcf), or "
+            "'all' to run\n"
+            "                    every Table 3 workload as a parallel "
+            "matrix\n"
             "  --refs=N --seed=N --cores=N\n"
+            "  --jobs=N          concurrent runs for --workload=all "
+            "(0 = all\n"
+            "                    host cores; results are bit-identical "
+            "for any N)\n"
             "  --ecp=N --wq=N --wc=0|1 --n=N --m=M --age=F\n"
             "  --capture=FILE    write the workload's trace and exit\n"
             "  --replay=FILE     run from a captured trace file\n"
@@ -126,6 +135,7 @@ main(int argc, char** argv)
     cfg.refsPerCore = refs;
     cfg.seed = seed;
     cfg.cores = static_cast<unsigned>(args.getInt("cores", 8));
+    cfg.jobs = static_cast<unsigned>(args.getInt("jobs", 0));
     cfg.aging.ageFraction = args.getDouble("age", 0.0);
     cfg.tracePath = args.getString("trace", "");
     cfg.epochTicks =
@@ -133,6 +143,37 @@ main(int argc, char** argv)
 
     const SchemeConfig scheme =
         schemeByName(args.getString("scheme", "lazyc+preread"), args);
+
+    if (workload_name == "all" && !args.has("replay")) {
+        // Matrix mode: the scheme over every Table 3 workload, fanned
+        // out across --jobs workers with ordered progress on stderr.
+        const auto workloads = standardWorkloads();
+        std::cout << "scheme " << scheme.name << ", "
+                  << workloads.size() << " workloads, " << cfg.cores
+                  << " cores x " << refs << " refs, "
+                  << resolveJobs(cfg.jobs) << " jobs\n\n";
+        const auto results = runMatrix(
+            {scheme}, workloads, cfg, [](const MatrixProgress& p) {
+                std::fprintf(stderr, "[%3zu/%3zu] %s\n", p.done,
+                             p.total, p.workload.c_str());
+            });
+        TablePrinter t({"workload", "meanCpi", "writes", "corrections",
+                        "corr/write", "p99 read lat"});
+        for (const auto& w : workloads) {
+            const RunMetrics& m = results.front().at(w.name);
+            t.addRow({w.name, TablePrinter::fmt(m.meanCpi, 3),
+                      TablePrinter::fmt(
+                          static_cast<double>(m.ctrl.writesCompleted), 0),
+                      TablePrinter::fmt(
+                          static_cast<double>(m.ctrl.correctionWrites),
+                          0),
+                      TablePrinter::fmt(m.correctionsPerWrite(), 4),
+                      TablePrinter::fmt(
+                          m.ctrl.readLatency.percentile(0.99), 0)});
+        }
+        t.print(std::cout);
+        return 0;
+    }
 
     WorkloadSpec spec;
     if (args.has("replay")) {

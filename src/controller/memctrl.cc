@@ -1,7 +1,6 @@
 #include "controller/memctrl.hh"
 
 #include <algorithm>
-#include <set>
 
 #include "common/logging.hh"
 
@@ -9,13 +8,13 @@ namespace sdpcm {
 
 namespace {
 
-/** Positions where two logical line values differ. */
-std::vector<unsigned>
-diffPositions(const LineData& a, const LineData& b)
+/** Positions where two logical line values differ, into a scratch. */
+void
+diffPositionsInto(const LineData& a, const LineData& b,
+                  std::vector<unsigned>& out)
 {
-    std::vector<unsigned> out;
+    out.clear();
     forEachSetBit(a.diff(b), [&](unsigned pos) { out.push_back(pos); });
-    return out;
 }
 
 } // namespace
@@ -581,6 +580,8 @@ MemoryController::cancelActive(unsigned bank)
     Bank& b = banks_[bank];
     SDPCM_ASSERT(b.active, "cancel without active write");
     QueuedWrite w = std::move(b.active->w);
+    if (b.active->planned)
+        b.planPool = std::move(b.active->plan);
     b.active.reset();
     w.cancels += 1;
     stats_.writeCancellations += 1;
@@ -601,6 +602,8 @@ MemoryController::completeWrite(unsigned bank)
         static_cast<double>(events_.now() - b.active->serviceStart));
     stats_.cascadeDepth.record(
         static_cast<double>(b.active->maxDepthSeen));
+    if (b.active->planned)
+        b.planPool = std::move(b.active->plan);
     b.active.reset();
 }
 
@@ -619,7 +622,7 @@ MemoryController::refreshBuffersAfterWrite(unsigned bank,
 
 void
 MemoryController::handleVerifyErrors(unsigned bank, const LineAddr& addr,
-                                     std::vector<unsigned> errors,
+                                     const std::vector<unsigned>& errors,
                                      unsigned depth)
 {
     if (errors.empty())
@@ -637,19 +640,18 @@ MemoryController::handleVerifyErrors(unsigned bank, const LineAddr& addr,
             return;
         }
         // Overflow: correct everything parked plus the new errors.
-        std::set<unsigned> merged;
-        for (const unsigned c : device_.ecpWdCells(addr))
-            merged.insert(c);
-        for (const unsigned c : errors)
-            merged.insert(c);
-        cells.assign(merged.begin(), merged.end());
+        cells = device_.ecpWdCells(addr);
+        cells.insert(cells.end(), errors.begin(), errors.end());
+        std::sort(cells.begin(), cells.end());
+        cells.erase(std::unique(cells.begin(), cells.end()),
+                    cells.end());
         if (trace_) {
             trace_->instant(bank, "ecp_overflow", "ctrl", events_.now(),
                             {{"cells", static_cast<double>(
                                   cells.size())}});
         }
     } else {
-        cells = std::move(errors);
+        cells = errors;
     }
 
     if (depth > kMaxCascadeDepth) {
@@ -719,7 +721,10 @@ MemoryController::advanceWrite(unsigned bank)
           }
           case ActiveWrite::Stage::Rounds: {
             if (!a.planned) {
-                a.plan = device_.planWrite(a.w.la, a.w.payload);
+                // Recycle the bank's retired plan: planWriteInto reuses
+                // its rounds/wlHits buffers instead of reallocating.
+                a.plan = std::move(b.planPool);
+                device_.planWriteInto(a.plan, a.w.la, a.w.payload);
                 a.planned = true;
             }
             const auto peek = device_.peekNextRound(a.plan);
@@ -751,8 +756,8 @@ MemoryController::advanceWrite(unsigned bank)
                 const LineData post = device_.readLine(aw.w.upperAddr);
                 stats_.verifyReads += 1;
                 aw.stage = ActiveWrite::Stage::VerLower;
-                handleVerifyErrors(bank, aw.w.upperAddr,
-                                   diffPositions(post, aw.w.upperData),
+                diffPositionsInto(post, aw.w.upperData, diffScratch_);
+                handleVerifyErrors(bank, aw.w.upperAddr, diffScratch_,
                                    1);
             });
             return;
@@ -769,8 +774,8 @@ MemoryController::advanceWrite(unsigned bank)
                 const LineData post = device_.readLine(aw.w.lowerAddr);
                 stats_.verifyReads += 1;
                 aw.stage = ActiveWrite::Stage::Corrections;
-                handleVerifyErrors(bank, aw.w.lowerAddr,
-                                   diffPositions(post, aw.w.lowerData),
+                diffPositionsInto(post, aw.w.lowerData, diffScratch_);
+                handleVerifyErrors(bank, aw.w.lowerAddr, diffScratch_,
                                    1);
             });
             return;
@@ -868,8 +873,9 @@ MemoryController::advanceCorrection(unsigned bank)
           }
           case ActiveCorrection::Stage::Rounds: {
             if (!c.planned) {
-                c.plan = device_.planCorrection(c.task.addr,
-                                                c.task.cells);
+                c.plan = std::move(b.corrPlanPool);
+                device_.planCorrectionInto(c.plan, c.task.addr,
+                                           c.task.cells);
                 c.planned = true;
                 stats_.correctionWrites += 1;
             }
@@ -903,8 +909,8 @@ MemoryController::advanceCorrection(unsigned bank)
                 const LineData post = device_.readLine(cc.up);
                 stats_.cascadeVerifies += 1;
                 cc.stage = ActiveCorrection::Stage::VerLow;
-                handleVerifyErrors(bank, cc.up,
-                                   diffPositions(post, cc.upData),
+                diffPositionsInto(post, cc.upData, diffScratch_);
+                handleVerifyErrors(bank, cc.up, diffScratch_,
                                    cc.task.depth + 1);
             });
             return;
@@ -920,13 +926,15 @@ MemoryController::advanceCorrection(unsigned bank)
                 const LineData post = device_.readLine(cc.low);
                 stats_.cascadeVerifies += 1;
                 cc.stage = ActiveCorrection::Stage::Done;
-                handleVerifyErrors(bank, cc.low,
-                                   diffPositions(post, cc.lowData),
+                diffPositionsInto(post, cc.lowData, diffScratch_);
+                handleVerifyErrors(bank, cc.low, diffScratch_,
                                    cc.task.depth + 1);
             });
             return;
           }
           case ActiveCorrection::Stage::Done: {
+            if (c.planned)
+                b.corrPlanPool = std::move(c.plan);
             a.corr.reset();
             advanceWrite(bank);
             return;

@@ -231,6 +231,10 @@ class MemoryController
         std::deque<QueuedWrite> writeQueue;
         std::optional<ActiveWrite> active;
         std::vector<std::function<void()>> spaceWaiters;
+        // Retired plan objects recycled into the next service so the
+        // per-write rounds/wlHits vectors stop reallocating (hot path).
+        PcmDevice::WritePlan planPool;
+        PcmDevice::WritePlan corrPlanPool;
         // In-flight operation bookkeeping (for write cancellation).
         std::uint64_t opGen = 0;       //!< bumped to invalidate completions
         bool opCancellable = false;
@@ -257,9 +261,14 @@ class MemoryController
     void tryIssuePreRead(unsigned bank);
     void notifySpace(unsigned bank);
 
-    /** Handle verification errors on one adjacent line. */
+    /**
+     * Handle verification errors on one adjacent line. `errors` is only
+     * read (callers pass a reused scratch vector); the cells are copied
+     * out only when a correction task is actually queued.
+     */
     void handleVerifyErrors(unsigned bank, const LineAddr& addr,
-                            std::vector<unsigned> errors, unsigned depth);
+                            const std::vector<unsigned>& errors,
+                            unsigned depth);
 
     /** Derive adjacency requirements for a write under its tag. */
     void computeAdjacency(QueuedWrite& w);
@@ -280,6 +289,9 @@ class MemoryController
     SchemeConfig scheme_;
     Rng rng_;
     CtrlStats stats_;
+    /** Verify-diff scratch: most verifies find zero errors, so reusing
+     *  one vector makes the verify path allocation-free. */
+    std::vector<unsigned> diffScratch_;
     TraceSink* trace_ = nullptr;
     std::vector<Bank> banks_;
     mutable std::map<std::uint64_t, NmPolicy> policies_;

@@ -34,6 +34,17 @@ PcmDevice::PcmDevice(const DeviceConfig& config)
     hardErrorMean_ = config_.aging.meanHardPerLineAtEol *
         std::pow(config_.aging.ageFraction, config_.aging.exponent);
     banks_.resize(config_.geometry.banks());
+    // Pre-size the sparse line maps so steady-state insertion never
+    // rehashes. The full bank (rows x lines) would be gigabytes of
+    // buckets, so cap at a working-set-sized table; beyond that the map
+    // grows as usual.
+    const std::uint64_t lines_per_bank =
+        config_.geometry.rowsPerBank * config_.geometry.linesPerRow();
+    const std::size_t reserve_lines = static_cast<std::size_t>(
+        std::min<std::uint64_t>(lines_per_bank, 1ULL << 15));
+    for (auto& bank : banks_)
+        bank.reserve(reserve_lines);
+    resetScratch_.reserve(kLineBits);
 }
 
 std::uint64_t
@@ -121,12 +132,48 @@ PcmDevice::peekLine(const LineAddr& addr)
     return data;
 }
 
+void
+PcmDevice::resetPlan(WritePlan& plan, const LineAddr& addr)
+{
+    plan.addr = addr;
+    plan.targetPhysical = LineData{};
+    plan.intendedPhysical = LineData{};
+    plan.targetFlags = 0;
+    plan.masks = WriteMasks{};
+    plan.writtenMask = LineData{};
+    plan.rounds.clear(); // keeps capacity for the next write's rounds
+    plan.nextRound = 0;
+    plan.isCorrection = false;
+    plan.wlHits.clear();
+    plan.blHitsUpper = 0;
+    plan.blHitsLower = 0;
+}
+
+void
+PcmDevice::sealPlan(WritePlan& plan, const LineState& ls)
+{
+    plan.masks = diffWrite(ls.physical, plan.targetPhysical);
+    for (unsigned w = 0; w < kLineWords; ++w) {
+        plan.writtenMask.words[w] =
+            plan.masks.resetMask.words[w] | plan.masks.setMask.words[w];
+    }
+    buildRounds(plan);
+}
+
 PcmDevice::WritePlan
 PcmDevice::planWrite(const LineAddr& addr, const LineData& new_logical)
 {
-    LineState& ls = state(addr);
     WritePlan plan;
-    plan.addr = addr;
+    planWriteInto(plan, addr, new_logical);
+    return plan;
+}
+
+void
+PcmDevice::planWriteInto(WritePlan& plan, const LineAddr& addr,
+                         const LineData& new_logical)
+{
+    LineState& ls = state(addr);
+    resetPlan(plan, addr);
 
     if (config_.dinEnabled) {
         const auto enc = din_.encode(new_logical, ls.physical);
@@ -147,22 +194,24 @@ PcmDevice::planWrite(const LineAddr& addr, const LineData& new_logical)
     for (const auto& [cell, stuck] : ls.hardCells)
         plan.targetPhysical.setBit(cell, stuck);
 
-    plan.masks = diffWrite(ls.physical, plan.targetPhysical);
-    for (unsigned w = 0; w < kLineWords; ++w) {
-        plan.writtenMask.words[w] =
-            plan.masks.resetMask.words[w] | plan.masks.setMask.words[w];
-    }
-    buildRounds(plan);
-    return plan;
+    sealPlan(plan, ls);
 }
 
 PcmDevice::WritePlan
 PcmDevice::planCorrection(const LineAddr& addr,
                           const std::vector<unsigned>& cells)
 {
-    LineState& ls = state(addr);
     WritePlan plan;
-    plan.addr = addr;
+    planCorrectionInto(plan, addr, cells);
+    return plan;
+}
+
+void
+PcmDevice::planCorrectionInto(WritePlan& plan, const LineAddr& addr,
+                              const std::vector<unsigned>& cells)
+{
+    LineState& ls = state(addr);
+    resetPlan(plan, addr);
     plan.isCorrection = true;
     plan.targetFlags = ls.dinFlags;
 
@@ -175,15 +224,9 @@ PcmDevice::planCorrection(const LineAddr& addr,
             plan.targetPhysical.setBit(pos, false);
     }
     plan.intendedPhysical = plan.targetPhysical;
-    plan.masks = diffWrite(ls.physical, plan.targetPhysical);
-    for (unsigned w = 0; w < kLineWords; ++w) {
-        plan.writtenMask.words[w] =
-            plan.masks.resetMask.words[w] | plan.masks.setMask.words[w];
-    }
+    sealPlan(plan, ls);
     SDPCM_ASSERT(plan.masks.setCount() == 0,
                  "correction write must be RESET-only");
-    buildRounds(plan);
-    return plan;
 }
 
 void
@@ -348,7 +391,8 @@ PcmDevice::applyNextRound(WritePlan& plan, RoundOutcome& outcome)
                                : config_.timing.setCycles;
 
     unsigned programmed = 0;
-    std::vector<unsigned> reset_cells;
+    resetScratch_.clear();
+    std::vector<unsigned>& reset_cells = resetScratch_;
     forEachSetBit(round.mask, [&](unsigned pos) {
         ls.physical.setBit(pos, !is_reset);
         ++programmed;
@@ -438,11 +482,19 @@ PcmDevice::finishWrite(WritePlan& plan)
 std::vector<unsigned>
 PcmDevice::verifyLine(const LineAddr& addr, const LineData& expected)
 {
-    const LineData current = readLine(addr);
     std::vector<unsigned> errors;
-    const LineData delta = current.diff(expected);
-    forEachSetBit(delta, [&](unsigned pos) { errors.push_back(pos); });
+    verifyLineInto(addr, expected, errors);
     return errors;
+}
+
+void
+PcmDevice::verifyLineInto(const LineAddr& addr, const LineData& expected,
+                          std::vector<unsigned>& out)
+{
+    out.clear();
+    const LineData current = readLine(addr);
+    const LineData delta = current.diff(expected);
+    forEachSetBit(delta, [&](unsigned pos) { out.push_back(pos); });
 }
 
 bool

@@ -176,9 +176,21 @@ class PcmDevice
     /** Plan a normal write of logical data. */
     WritePlan planWrite(const LineAddr& addr, const LineData& new_logical);
 
+    /**
+     * Plan a normal write into an existing plan object, reusing its
+     * heap buffers (rounds, wlHits). The hot path re-plans every write
+     * service; recycling the vectors keeps it allocation-free.
+     */
+    void planWriteInto(WritePlan& plan, const LineAddr& addr,
+                       const LineData& new_logical);
+
     /** Plan a correction write RESETting the given disturbed cells. */
     WritePlan planCorrection(const LineAddr& addr,
                              const std::vector<unsigned>& cells);
+
+    /** Buffer-reusing variant of planCorrection (see planWriteInto). */
+    void planCorrectionInto(WritePlan& plan, const LineAddr& addr,
+                            const std::vector<unsigned>& cells);
 
     /** Outcome of one program round. */
     struct RoundOutcome
@@ -232,6 +244,10 @@ class PcmDevice
     std::vector<unsigned> verifyLine(const LineAddr& addr,
                                      const LineData& expected);
 
+    /** Scratch-reusing variant: `out` is cleared and refilled. */
+    void verifyLineInto(const LineAddr& addr, const LineData& expected,
+                        std::vector<unsigned>& out);
+
     /**
      * LazyCorrection: try to park the given disturbed cells in the line's
      * free ECP entries.
@@ -267,6 +283,12 @@ class PcmDevice
     LineState& state(const LineAddr& addr);
     std::uint64_t lineKey(const LineAddr& addr) const;
 
+    /** Reset a plan for reuse, keeping its vectors' capacity. */
+    static void resetPlan(WritePlan& plan, const LineAddr& addr);
+
+    /** Finalise a plan's masks and rounds from its target state. */
+    void sealPlan(WritePlan& plan, const LineState& ls);
+
     /** Decompose a plan's program masks into driver rounds. */
     void buildRounds(WritePlan& plan);
 
@@ -287,6 +309,9 @@ class PcmDevice
     Rng rng_;
     DeviceStats stats_;
     double hardErrorMean_;
+
+    /** RESET-cell scratch for applyNextRound (reused across rounds). */
+    std::vector<unsigned> resetScratch_;
 
     /** Per-bank sparse line stores; key = row * linesPerRow + line. */
     std::vector<std::unordered_map<std::uint64_t, LineState>> banks_;

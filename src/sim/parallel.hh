@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Parallel execution primitives for the experiment harness.
+ *
+ * Every simulation run (`System` instance) owns its seed, RNG, device,
+ * controller and event queue, and the library keeps no mutable global
+ * state (statics are const, initialised via thread-safe magic statics),
+ * so independent runs are shared-nothing and can execute concurrently
+ * with bit-identical results versus serial execution. The thread pool
+ * here fans (scheme, workload) cells out across cores; `--jobs=1`
+ * degenerates to a plain in-order loop on the calling thread.
+ */
+
+#ifndef SDPCM_SIM_PARALLEL_HH
+#define SDPCM_SIM_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sdpcm {
+
+/** Worker count used when the user passes `--jobs=0` (auto). */
+unsigned defaultJobs();
+
+/** Map a user-facing jobs value (0 = auto) to a concrete worker count. */
+unsigned resolveJobs(unsigned jobs);
+
+/**
+ * A fixed-size worker pool over a FIFO task queue.
+ *
+ * Tasks are arbitrary callables; the first exception a task throws is
+ * captured and rethrown from `wait()` (remaining tasks still run, so the
+ * pool is always drained and destruction never blocks on lost work).
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn `jobs` workers (0 = `defaultJobs()`). */
+    explicit ThreadPool(unsigned jobs = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    unsigned
+    jobs() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Enqueue a task; runs as soon as a worker is free. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished, then rethrow the
+     * first exception any task raised (if one did). The pool stays
+     * usable after wait(); more tasks may be submitted.
+     */
+    void wait();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable taskReady_;
+    std::condition_variable allDone_;
+    std::size_t pending_ = 0; //!< queued + running tasks
+    bool stopping_ = false;
+    std::exception_ptr firstError_;
+};
+
+/**
+ * Run `body(0) ... body(count-1)` across `jobs` workers and block until
+ * all complete. With `jobs` resolving to 1 the calls happen in index
+ * order on the calling thread (bit-identical to a plain loop). The first
+ * exception thrown by any invocation is rethrown after all indices have
+ * been attempted.
+ */
+void parallelFor(unsigned jobs, std::size_t count,
+                 const std::function<void(std::size_t)>& body);
+
+} // namespace sdpcm
+
+#endif // SDPCM_SIM_PARALLEL_HH

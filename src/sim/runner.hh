@@ -4,11 +4,16 @@
  * over the Table 3 workloads and aggregate speedups the way the paper's
  * evaluation does (per-workload CPI ratios, geometric mean across
  * workloads).
+ *
+ * The matrix executor fans the fully independent (scheme, workload)
+ * cells out across a thread pool (see sim/parallel.hh); results are
+ * bit-identical to serial execution because every run is shared-nothing.
  */
 
 #ifndef SDPCM_SIM_RUNNER_HH
 #define SDPCM_SIM_RUNNER_HH
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -17,7 +22,11 @@
 
 namespace sdpcm {
 
-/** Geometric mean of a series (zeros are skipped). */
+/**
+ * Geometric mean of a series. Non-positive values cannot enter a
+ * geometric mean; they are skipped with an SDPCM_WARN so a broken run
+ * (zero CPI, failed cell) cannot silently inflate the aggregate.
+ */
 double geomean(const std::vector<double>& values);
 
 /** Common knobs for a batch of experiment runs. */
@@ -26,13 +35,15 @@ struct RunnerConfig
     std::uint64_t refsPerCore = 50000;
     std::uint64_t seed = 1;
     unsigned cores = 8;
+    unsigned jobs = 0; //!< matrix-level parallelism (0 = all host cores)
     AgingConfig aging;
     DinConfig din;     //!< encoder knobs (ablation studies)
     PcmTiming timing;  //!< device timing knobs (ablation studies)
     Tick maxTicks = ~Tick(0);
 
     // Observability passthrough (see SystemConfig). tracePath applies to
-    // single runs (runOne); matrix runs would overwrite one file.
+    // single runs (runOne); matrix runs would overwrite one file, so the
+    // matrix executor drops it with a warning.
     std::string tracePath;
     Tick epochTicks = 0;
 };
@@ -54,7 +65,34 @@ struct SchemeResults
     }
 };
 
-/** Run a scheme over a workload list. */
+/** One completed matrix cell, reported in deterministic matrix order. */
+struct MatrixProgress
+{
+    std::size_t done = 0;  //!< cells reported so far (this one included)
+    std::size_t total = 0; //!< schemes x workloads
+    std::string scheme;
+    std::string workload;
+};
+
+/**
+ * Per-cell completion callback. Invocations are serialised under a lock
+ * and delivered in matrix order (scheme-major, then workload) no matter
+ * which worker finishes first, so progress output is deterministic.
+ */
+using MatrixProgressFn = std::function<void(const MatrixProgress&)>;
+
+/**
+ * Run every (scheme, workload) cell, fanned out over `cfg.jobs` workers
+ * (0 = hardware concurrency; 1 = serial in matrix order). Results are
+ * bit-identical across jobs values.
+ */
+std::vector<SchemeResults>
+runMatrix(const std::vector<SchemeConfig>& schemes,
+          const std::vector<WorkloadSpec>& workloads,
+          const RunnerConfig& cfg,
+          const MatrixProgressFn& on_cell_done = nullptr);
+
+/** Run a scheme over a workload list (one-row matrix). */
 SchemeResults runScheme(const SchemeConfig& scheme,
                         const std::vector<WorkloadSpec>& workloads,
                         const RunnerConfig& cfg);

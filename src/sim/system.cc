@@ -9,18 +9,21 @@ workloadFromProfile(const std::string& profile_name)
 {
     WorkloadSpec spec;
     spec.name = profile_name;
+    // Resolve the profile once here rather than in every makeStream call
+    // (the matrix harness builds cores x runs streams); unknown names
+    // fail fast at spec construction instead of mid-run.
+    const WorkloadProfile profile = profileByName(profile_name);
     if (profile_name == "stream") {
-        spec.makeStream = [](unsigned core, std::uint64_t seed) {
-            const auto& p = profileByName("stream");
+        spec.makeStream = [profile](unsigned core, std::uint64_t seed) {
             return std::make_unique<StreamTraceGenerator>(
-                p.footprintBytes / 3, p.apki(),
+                profile.footprintBytes / 3, profile.apki(),
                 seed ^ (0x517eadULL + core));
         };
         return spec;
     }
-    spec.makeStream = [profile_name](unsigned core, std::uint64_t seed) {
+    spec.makeStream = [profile](unsigned core, std::uint64_t seed) {
         return std::make_unique<SyntheticTraceGenerator>(
-            profileByName(profile_name), seed ^ (0x9e3779b9ULL * (core + 1)));
+            profile, seed ^ (0x9e3779b9ULL * (core + 1)));
     };
     return spec;
 }
