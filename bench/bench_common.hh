@@ -10,6 +10,10 @@
  *   --cores=N  cores (default 8, per Table 2)
  *   --jobs=N   concurrent (scheme, workload) runs (default: all host
  *              cores; results are bit-identical for any value)
+ *   --report=FILE  write a machine-readable run report (obs/report.hh)
+ *              of every (scheme, workload) cell. Each bench has a
+ *              default REPORT_<bench>.json path; --report= (empty)
+ *              disables the report.
  */
 
 #ifndef SDPCM_BENCH_COMMON_HH
@@ -24,6 +28,7 @@
 
 #include "common/args.hh"
 #include "common/table.hh"
+#include "obs/report.hh"
 #include "sim/parallel.hh"
 #include "sim/runner.hh"
 
@@ -81,6 +86,36 @@ runMatrix(const std::vector<SchemeConfig>& schemes,
                  schemes.size() * workloads.size(),
                  resolveJobs(cfg.jobs), seconds);
     return results;
+}
+
+/**
+ * Write the run report unless the user passed --report= (empty) to
+ * disable it. Every cell of `results` becomes one report run; the
+ * optional `environment` pairs carry machine-varying extras (wall-clock
+ * seconds) that the regression gate ignores.
+ */
+inline void
+maybeWriteReport(const ArgParser& args, const std::string& default_path,
+                 const std::string& bench_name, const RunnerConfig& cfg,
+                 const std::vector<SchemeResults>& results,
+                 std::vector<std::pair<std::string, double>> environment =
+                     {})
+{
+    const std::string path = args.getString("report", default_path);
+    if (path.empty())
+        return;
+    RunReport report;
+    report.bench = bench_name;
+    report.config = cfg;
+    report.environment = std::move(environment);
+    for (const SchemeResults& scheme : results) {
+        for (const auto& [name, metrics] : scheme.byWorkload) {
+            (void)name;
+            report.addRun(metrics);
+        }
+    }
+    report.writeFile(path);
+    std::cout << "report written to " << path << "\n";
 }
 
 /** Workload-name column order: Table 3 order plus the aggregate. */

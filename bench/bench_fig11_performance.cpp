@@ -18,6 +18,7 @@ using namespace sdpcm::bench;
 int
 main(int argc, char** argv)
 {
+    const ArgParser args(argc, argv);
     const RunnerConfig cfg = configFromArgs(argc, argv);
     banner("Figure 11: system performance under different schemes", cfg);
 
@@ -84,5 +85,7 @@ main(int argc, char** argv)
 
     std::cout << "\nShape check: baseline << LazyC < LazyC+PreRead ~ "
                  "LazyC+(2:3) < all-three <= DIN; (1:2) ~ DIN.\n";
+    maybeWriteReport(args, "REPORT_fig11.json", "bench_fig11", cfg,
+                     results);
     return 0;
 }

@@ -18,6 +18,7 @@ using namespace sdpcm::bench;
 int
 main(int argc, char** argv)
 {
+    const ArgParser args(argc, argv);
     const RunnerConfig cfg = configFromArgs(argc, argv);
     banner("Figure 12: ECP entries vs correction operations", cfg);
 
@@ -62,5 +63,7 @@ main(int argc, char** argv)
     std::cout << "\n(corrections per completed data write; paper: ~1.8 "
                  "at ECP-0 falling to ~0.14 at ECP-4;\n the analytic row "
                  "is the Markov model of analysis/wd_analytic.hh)\n";
+    maybeWriteReport(args, "REPORT_fig12.json", "bench_fig12", cfg,
+                     results);
     return 0;
 }

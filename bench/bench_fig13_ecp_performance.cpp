@@ -15,6 +15,7 @@ using namespace sdpcm::bench;
 int
 main(int argc, char** argv)
 {
+    const ArgParser args(argc, argv);
     const RunnerConfig cfg = configFromArgs(argc, argv);
     banner("Figure 13: ECP entries vs system performance", cfg);
 
@@ -50,5 +51,7 @@ main(int argc, char** argv)
 
     std::cout << "\n(speedup over baseline VnC; paper: +21% at ECP-6, "
                  "flat beyond)\n";
+    maybeWriteReport(args, "REPORT_fig13.json", "bench_fig13", cfg,
+                     results);
     return 0;
 }

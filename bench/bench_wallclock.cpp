@@ -132,5 +132,15 @@ main(int argc, char** argv)
        << "  \"identical\": " << (identical ? "true" : "false") << "\n"
        << "}\n";
     std::cout << "\nwritten to " << out_path << "\n";
+
+    // The serial results are the reference copy (they bit-match the
+    // parallel ones whenever `identical` holds); wall-clock figures go
+    // into the gate-ignored environment section.
+    maybeWriteReport(args, "REPORT_wallclock.json", "bench_wallclock",
+                     cfg, serial_results,
+                     {{"serial_seconds", serial_s},
+                      {"parallel_seconds", parallel_s},
+                      {"speedup", speedup},
+                      {"identical", identical ? 1.0 : 0.0}});
     return identical ? 0 : 1;
 }

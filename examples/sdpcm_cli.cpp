@@ -17,9 +17,12 @@
 
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 
 #include "common/args.hh"
 #include "common/table.hh"
+#include "obs/heatmap.hh"
+#include "obs/report.hh"
 #include "sim/parallel.hh"
 #include "sim/runner.hh"
 #include "workload/generators.hh"
@@ -110,7 +113,19 @@ main(int argc, char** argv)
             "  --epoch-csv=FILE  write the epoch series as CSV\n"
             "  --epoch-json=FILE write the epoch series as JSON\n"
             "                    (with --epoch but no file, CSV goes to "
-            "stdout)\n";
+            "stdout)\n"
+            "  --report=FILE     write a machine-readable run report "
+            "(JSON;\n"
+            "                    compare across runs with report_diff)\n"
+            "  --line-counters   track per-line wear/WD counters\n"
+            "  --heatmap=KIND    export a spatial heatmap (implies "
+            "--line-counters);\n"
+            "                    KIND: writes|wd|wd_absorbed|wd_corrected"
+            "|ecp\n"
+            "  --heatmap-csv=FILE --heatmap-pgm=FILE\n"
+            "                    output paths (default "
+            "heatmap_<kind>.csv/.pgm)\n"
+            "  --heatmap-bins=N  max row bins per bank (default 64)\n";
         return 0;
     }
 
@@ -140,6 +155,8 @@ main(int argc, char** argv)
     cfg.tracePath = args.getString("trace", "");
     cfg.epochTicks =
         static_cast<Tick>(args.getInt("epoch", 0));
+    const bool want_heatmap = args.has("heatmap");
+    cfg.lineCounters = args.getBool("line-counters", false) || want_heatmap;
 
     const SchemeConfig scheme =
         schemeByName(args.getString("scheme", "lazyc+preread"), args);
@@ -218,6 +235,51 @@ main(int argc, char** argv)
             std::cout << "\n";
             m.epochs.dumpCsv(std::cout);
         }
+    }
+    if (want_heatmap) {
+        const std::string kind_name = args.getString("heatmap", "writes");
+        HeatmapKind kind;
+        try {
+            kind = heatmapKindByName(kind_name);
+        } catch (const std::invalid_argument& e) {
+            SDPCM_FATAL(e.what());
+        }
+        const DimmGeometry geom; // runOne uses the default Table 2 DIMM
+        const Heatmap map = buildHeatmap(
+            m.lines, kind, geom.banks(), geom.linesPerRow(),
+            static_cast<unsigned>(args.getInt("heatmap-bins", 64)));
+        const std::string base = "heatmap_" + std::string(
+            heatmapKindName(kind));
+        const std::string csv_path =
+            args.getString("heatmap-csv", base + ".csv");
+        const std::string pgm_path =
+            args.getString("heatmap-pgm", base + ".pgm");
+        if (!csv_path.empty()) {
+            std::ofstream os(csv_path);
+            if (!os)
+                SDPCM_FATAL("cannot open ", csv_path);
+            writeHeatmapCsv(map, os);
+            std::cout << "heatmap (" << heatmapKindName(kind) << ", "
+                      << map.banks << " banks x " << map.rowBins
+                      << " row bins x " << map.lines
+                      << " lines) written to " << csv_path << "\n";
+        }
+        if (!pgm_path.empty()) {
+            std::ofstream os(pgm_path);
+            if (!os)
+                SDPCM_FATAL("cannot open ", pgm_path);
+            writeHeatmapPgm(map, os);
+            std::cout << "heatmap image written to " << pgm_path << "\n";
+        }
+    }
+    const std::string report_path = args.getString("report", "");
+    if (!report_path.empty()) {
+        RunReport report;
+        report.bench = "sdpcm_cli";
+        report.config = cfg;
+        report.addRun(m);
+        report.writeFile(report_path);
+        std::cout << "report written to " << report_path << "\n";
     }
     return 0;
 }

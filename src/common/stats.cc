@@ -6,6 +6,7 @@
 #include <iomanip>
 
 #include "common/logging.hh"
+#include "obs/json.hh"
 
 namespace sdpcm {
 
@@ -127,6 +128,21 @@ StatSnapshot::dump(std::ostream& os, const std::string& prefix) const
         os << prefix << std::left << std::setw(40) << name << " "
            << std::setprecision(8) << value << "\n";
     }
+}
+
+void
+StatSnapshot::toJson(std::ostream& os) const
+{
+    os << '{';
+    bool first = true;
+    for (const auto& [name, value] : values_) {
+        os << (first ? "" : ",");
+        first = false;
+        json::writeString(os, name);
+        os << ':';
+        json::writeNumber(os, value);
+    }
+    os << '}';
 }
 
 } // namespace sdpcm

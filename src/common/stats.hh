@@ -250,6 +250,14 @@ class StatSnapshot
 
     void dump(std::ostream& os, const std::string& prefix = "") const;
 
+    /**
+     * Write the snapshot as one JSON object (`{"name": value, ...}`,
+     * keys in map order). Numbers use the shared round-trip formatter
+     * (obs/json.hh), so a parsed value bit-matches the stored double —
+     * tools and tests consume this instead of re-parsing table output.
+     */
+    void toJson(std::ostream& os) const;
+
     const std::map<std::string, double>& values() const { return values_; }
 
   private:

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * CSV field escaping shared by the observability CSV emitters (epoch
+ * series, heatmaps). RFC 4180 quoting: a field containing the delimiter,
+ * a quote or a line break is wrapped in quotes with embedded quotes
+ * doubled; plain fields pass through untouched.
+ */
+
+#ifndef SDPCM_OBS_CSV_HH
+#define SDPCM_OBS_CSV_HH
+
+#include <ostream>
+#include <string_view>
+
+namespace sdpcm {
+namespace csv {
+
+/** Write one CSV field, quoting/escaping only when required. */
+inline void
+writeField(std::ostream& os, std::string_view s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string_view::npos) {
+        os << s;
+        return;
+    }
+    os << '"';
+    for (const char c : s) {
+        if (c == '"')
+            os << "\"\"";
+        else
+            os << c;
+    }
+    os << '"';
+}
+
+} // namespace csv
+} // namespace sdpcm
+
+#endif // SDPCM_OBS_CSV_HH

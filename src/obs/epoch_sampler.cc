@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/csv.hh"
+#include "obs/json.hh"
 
 namespace sdpcm {
 
@@ -65,9 +67,23 @@ EpochSeries::columns()
 void
 EpochSeries::dumpCsv(std::ostream& os) const
 {
+    // Header comment: document the file's one non-obvious invariant so a
+    // consumer need not find this source. Comment lines start with '#';
+    // readers (including our own tests) skip them before the header row.
+    os << "# sdpcm epoch series: one sample per epoch of " << epochTicks
+       << " ticks (tick = sample time, end of epoch).\n"
+       << "# Delta-sum invariant: every counter column (reads_serviced "
+          "... cycles_ecp) holds the\n"
+       << "# delta over its epoch, and summing a column over all rows "
+          "reproduces the end-of-run\n"
+       << "# CtrlStats total exactly. The queue columns (read_queued, "
+          "write_queued,\n"
+       << "# max_bank_write_queue, pending_corrections) are "
+          "instantaneous gauges, not deltas.\n";
     bool first = true;
     for (const Column& c : kColumns) {
-        os << (first ? "" : ",") << c.name;
+        os << (first ? "" : ",");
+        csv::writeField(os, c.name);
         first = false;
     }
     os << "\n";
@@ -91,8 +107,10 @@ EpochSeries::dumpJson(std::ostream& os) const
         first_sample = false;
         bool first = true;
         for (const Column& c : kColumns) {
-            os << (first ? "" : ",") << "\"" << c.name
-               << "\":" << c.get(s);
+            os << (first ? "" : ",");
+            json::writeString(os, c.name);
+            os << ":";
+            json::writeNumber(os, c.get(s));
             first = false;
         }
         os << "}";

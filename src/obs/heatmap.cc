@@ -1,0 +1,174 @@
+#include "obs/heatmap.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "obs/csv.hh"
+
+namespace sdpcm {
+
+HeatmapKind
+heatmapKindByName(const std::string& name)
+{
+    if (name == "writes")
+        return HeatmapKind::Writes;
+    if (name == "wd" || name == "wd_flips")
+        return HeatmapKind::WdFlips;
+    if (name == "wd_absorbed")
+        return HeatmapKind::WdAbsorbed;
+    if (name == "wd_corrected")
+        return HeatmapKind::WdCorrected;
+    if (name == "ecp")
+        return HeatmapKind::EcpHighWater;
+    throw std::invalid_argument(
+        "unknown heatmap kind '" + name +
+        "' (expected writes|wd|wd_absorbed|wd_corrected|ecp)");
+}
+
+const char*
+heatmapKindName(HeatmapKind kind)
+{
+    switch (kind) {
+    case HeatmapKind::Writes: return "writes";
+    case HeatmapKind::WdFlips: return "wd";
+    case HeatmapKind::WdAbsorbed: return "wd_absorbed";
+    case HeatmapKind::WdCorrected: return "wd_corrected";
+    case HeatmapKind::EcpHighWater: return "ecp";
+    }
+    return "?";
+}
+
+namespace {
+
+std::uint64_t
+fieldOf(const LineCounters& c, HeatmapKind kind)
+{
+    switch (kind) {
+    case HeatmapKind::Writes: return c.writes;
+    case HeatmapKind::WdFlips: return c.wdFlips;
+    case HeatmapKind::WdAbsorbed: return c.wdAbsorbed;
+    case HeatmapKind::WdCorrected: return c.wdCorrected;
+    case HeatmapKind::EcpHighWater: return c.ecpHighWater;
+    }
+    return 0;
+}
+
+} // namespace
+
+std::uint64_t
+Heatmap::maxValue() const
+{
+    std::uint64_t m = 0;
+    for (const std::uint64_t v : values)
+        m = std::max(m, v);
+    return m;
+}
+
+Heatmap
+buildHeatmap(const std::vector<LineCounterSample>& samples,
+             HeatmapKind kind, unsigned banks, unsigned lines,
+             unsigned row_bins)
+{
+    SDPCM_ASSERT(banks > 0 && lines > 0, "empty heatmap geometry");
+    SDPCM_ASSERT(row_bins > 0, "heatmap needs at least one row bin");
+
+    Heatmap map;
+    map.kind = kind;
+    map.banks = banks;
+    map.lines = lines;
+
+    if (samples.empty()) {
+        map.rowBins = 1;
+        map.values.assign(static_cast<std::size_t>(banks) * lines, 0);
+        return map;
+    }
+
+    map.rowLo = samples.front().addr.row;
+    map.rowHi = samples.front().addr.row;
+    for (const LineCounterSample& s : samples) {
+        map.rowLo = std::min(map.rowLo, s.addr.row);
+        map.rowHi = std::max(map.rowHi, s.addr.row);
+    }
+
+    // One row per bin when the touched span fits; otherwise equal bins of
+    // ceil(span / row_bins) rows (the last bin may cover fewer).
+    const std::uint64_t span = map.rowHi - map.rowLo + 1;
+    map.rowsPerBin = (span + row_bins - 1) / row_bins;
+    map.rowBins = static_cast<unsigned>(
+        (span + map.rowsPerBin - 1) / map.rowsPerBin);
+    map.values.assign(static_cast<std::size_t>(banks) * map.rowBins * lines,
+                      0);
+
+    const bool is_peak = kind == HeatmapKind::EcpHighWater;
+    for (const LineCounterSample& s : samples) {
+        SDPCM_ASSERT(s.addr.bank < banks && s.addr.line < lines,
+                     "sample outside heatmap geometry");
+        const unsigned bin = static_cast<unsigned>(
+            (s.addr.row - map.rowLo) / map.rowsPerBin);
+        std::uint64_t& cell = map.values[
+            (static_cast<std::size_t>(s.addr.bank) * map.rowBins + bin) *
+                lines + s.addr.line];
+        const std::uint64_t v = fieldOf(s.counters, kind);
+        if (is_peak)
+            cell = std::max(cell, v);
+        else
+            cell += v;
+    }
+    return map;
+}
+
+void
+writeHeatmapCsv(const Heatmap& map, std::ostream& os)
+{
+    os << "# sdpcm heatmap: kind=" << heatmapKindName(map.kind)
+       << " banks=" << map.banks << " row_bins=" << map.rowBins
+       << " lines=" << map.lines << " rows_per_bin=" << map.rowsPerBin
+       << "\n"
+       << "# touched row range [" << map.rowLo << ", " << map.rowHi
+       << "]; value is the "
+       << (map.kind == HeatmapKind::EcpHighWater ? "max" : "sum")
+       << " of the counter over the bin's lines.\n";
+    const char* header[] = {"bank", "row_bin", "row_lo", "row_hi", "line",
+                            "value"};
+    bool first = true;
+    for (const char* h : header) {
+        os << (first ? "" : ",");
+        csv::writeField(os, h);
+        first = false;
+    }
+    os << "\n";
+    for (unsigned b = 0; b < map.banks; ++b) {
+        for (unsigned bin = 0; bin < map.rowBins; ++bin) {
+            for (unsigned line = 0; line < map.lines; ++line) {
+                os << b << ',' << bin << ',' << map.binRowLo(bin) << ','
+                   << map.binRowHi(bin) << ',' << line << ','
+                   << map.at(b, bin, line) << "\n";
+            }
+        }
+    }
+}
+
+void
+writeHeatmapPgm(const Heatmap& map, std::ostream& os)
+{
+    const std::uint64_t max = map.maxValue();
+    os << "P2\n"
+       << "# sdpcm heatmap kind=" << heatmapKindName(map.kind)
+       << " banks stacked vertically (" << map.rowBins
+       << " bins each), raw max=" << max << "\n"
+       << map.lines << ' ' << map.banks * map.rowBins << "\n255\n";
+    for (unsigned b = 0; b < map.banks; ++b) {
+        for (unsigned bin = 0; bin < map.rowBins; ++bin) {
+            for (unsigned line = 0; line < map.lines; ++line) {
+                const std::uint64_t v = map.at(b, bin, line);
+                const unsigned px = max == 0
+                    ? 0 : static_cast<unsigned>((v * 255) / max);
+                os << px << (line + 1 < map.lines ? " " : "\n");
+            }
+        }
+    }
+}
+
+} // namespace sdpcm

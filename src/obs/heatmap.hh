@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Spatial heatmaps of per-line device activity.
+ *
+ * Built post-run from the device's LineCounterSample dump (see
+ * `DeviceConfig::lineCounters`): the touched row range of each bank is
+ * binned into at most `rowBins` row bins, lines stay unbinned (a row has
+ * only linesPerRow of them), and one counter field is aggregated per cell.
+ * When the touched span fits in `rowBins` the binning degenerates to one
+ * row per bin, which keeps per-strip structure — e.g. the untouched no-use
+ * strips of (n:m)-Alloc — visible instead of averaged away.
+ *
+ * Exports: CSV (`bank,row_bin,row_lo,row_hi,line,value`, one record per
+ * grid cell) and PGM (P2 grayscale, banks stacked vertically, values
+ * scaled to a 0..255 range) for quick visual inspection without plotting
+ * tooling.
+ */
+
+#ifndef SDPCM_OBS_HEATMAP_HH
+#define SDPCM_OBS_HEATMAP_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pcm/device.hh"
+
+namespace sdpcm {
+
+/** Which LineCounters field a heatmap aggregates. */
+enum class HeatmapKind
+{
+    Writes,      //!< completed normal data writes
+    WdFlips,     //!< disturbance flips landed (line as victim)
+    WdAbsorbed,  //!< WD errors parked in ECP (LazyCorrection)
+    WdCorrected, //!< cells fixed by correction writes / DIN repair
+    EcpHighWater //!< peak ECP occupancy (max over bin, not sum)
+};
+
+/** Parse a CLI kind name; throws std::invalid_argument on unknown names. */
+HeatmapKind heatmapKindByName(const std::string& name);
+
+/** Canonical name of a kind (CSV header, file naming). */
+const char* heatmapKindName(HeatmapKind kind);
+
+/** A binned per-bank grid of one counter field. */
+struct Heatmap
+{
+    HeatmapKind kind = HeatmapKind::Writes;
+    unsigned banks = 0;
+    unsigned rowBins = 0;  //!< bins actually used (<= requested)
+    unsigned lines = 0;    //!< lines per row (unbinned axis)
+    std::uint64_t rowLo = 0; //!< first touched row (bin 0 starts here)
+    std::uint64_t rowHi = 0; //!< last touched row (inclusive)
+    std::uint64_t rowsPerBin = 1;
+
+    /** Row-major [bank][rowBin][line] values. */
+    std::vector<std::uint64_t> values;
+
+    std::uint64_t
+    at(unsigned bank, unsigned bin, unsigned line) const
+    {
+        return values[(static_cast<std::size_t>(bank) * rowBins + bin) *
+                          lines + line];
+    }
+
+    /** Inclusive row range covered by a bin. */
+    std::uint64_t binRowLo(unsigned bin) const
+    {
+        return rowLo + bin * rowsPerBin;
+    }
+    std::uint64_t binRowHi(unsigned bin) const
+    {
+        const std::uint64_t hi = rowLo + (bin + 1ULL) * rowsPerBin - 1;
+        return hi < rowHi ? hi : rowHi;
+    }
+
+    std::uint64_t maxValue() const;
+};
+
+/**
+ * Bin per-line samples into a heatmap. `row_bins` caps the row axis; the
+ * touched row range is determined from the samples themselves. Returns an
+ * all-zero 1x1-per-bank map when `samples` is empty.
+ */
+Heatmap buildHeatmap(const std::vector<LineCounterSample>& samples,
+                     HeatmapKind kind, unsigned banks, unsigned lines,
+                     unsigned row_bins = 64);
+
+/** CSV export: '#' comment header, then bank,row_bin,row_lo,row_hi,line,value. */
+void writeHeatmapCsv(const Heatmap& map, std::ostream& os);
+
+/**
+ * PGM (P2 ASCII grayscale) export: width = lines, height = banks *
+ * rowBins with banks stacked top to bottom, linear scale to maxval 255.
+ */
+void writeHeatmapPgm(const Heatmap& map, std::ostream& os);
+
+} // namespace sdpcm
+
+#endif // SDPCM_OBS_HEATMAP_HH

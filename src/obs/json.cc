@@ -1,0 +1,485 @@
+#include "obs/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace sdpcm {
+namespace json {
+
+void
+writeString(std::ostream& os, std::string_view s)
+{
+    os << '"';
+    for (const char ch : s) {
+        const unsigned char c = static_cast<unsigned char>(ch);
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          case '\b':
+            os << "\\b";
+            break;
+          case '\f':
+            os << "\\f";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                os << buf;
+            } else {
+                os << ch;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+writeNumber(std::ostream& os, double v)
+{
+    if (std::isnan(v) || std::isinf(v)) {
+        os << 0;
+        return;
+    }
+    // Integers print without exponent or fraction; 2^53 bounds the range
+    // where double holds integers exactly.
+    if (v == std::floor(v) && std::abs(v) <= 9007199254740992.0) {
+        os << static_cast<long long>(v);
+        return;
+    }
+    // Shortest representation that parses back to the same double.
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    SDPCM_ASSERT(res.ec == std::errc(), "to_chars failed");
+    os.write(buf, res.ptr - buf);
+}
+
+void
+writeNumber(std::ostream& os, std::uint64_t v)
+{
+    os << v;
+}
+
+} // namespace json
+
+// ---------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------
+
+void
+JsonWriter::separate()
+{
+    if (afterKey_) {
+        // A value completing a key/value pair: no separator of its own.
+        afterKey_ = false;
+        return;
+    }
+    if (!hasItem_.empty()) {
+        if (hasItem_.back())
+            os_ << ',';
+        hasItem_.back() = true;
+        if (pretty_) {
+            os_ << '\n';
+            for (std::size_t i = 0; i < hasItem_.size(); ++i)
+                os_ << "  ";
+        }
+    }
+}
+
+JsonWriter&
+JsonWriter::beginObject()
+{
+    separate();
+    os_ << '{';
+    hasItem_.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endObject()
+{
+    SDPCM_ASSERT(!hasItem_.empty(), "endObject with no open scope");
+    const bool had = hasItem_.back();
+    hasItem_.pop_back();
+    if (pretty_ && had) {
+        os_ << '\n';
+        for (std::size_t i = 0; i < hasItem_.size(); ++i)
+            os_ << "  ";
+    }
+    os_ << '}';
+    if (hasItem_.empty() && pretty_)
+        os_ << '\n';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::beginArray()
+{
+    separate();
+    os_ << '[';
+    hasItem_.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endArray()
+{
+    SDPCM_ASSERT(!hasItem_.empty(), "endArray with no open scope");
+    const bool had = hasItem_.back();
+    hasItem_.pop_back();
+    if (pretty_ && had) {
+        os_ << '\n';
+        for (std::size_t i = 0; i < hasItem_.size(); ++i)
+            os_ << "  ";
+    }
+    os_ << ']';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::key(std::string_view k)
+{
+    separate();
+    json::writeString(os_, k);
+    os_ << (pretty_ ? ": " : ":");
+    afterKey_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::string_view v)
+{
+    separate();
+    json::writeString(os_, v);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(double v)
+{
+    separate();
+    json::writeNumber(os_, v);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    json::writeNumber(os_, v);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(bool v)
+{
+    separate();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        const JsonValue v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char* why) const
+    {
+        throw std::runtime_error("JSON error at byte " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                text_[pos_] == '\t' || text_[pos_] == '\r')) {
+            pos_ += 1;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        pos_ += 1;
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        const char c = peek();
+        if (c == '{')
+            return objectValue();
+        if (c == '[')
+            return arrayValue();
+        if (c == '"')
+            return stringValue();
+        if (c == 't' || c == 'f')
+            return boolValue();
+        if (c == 'n')
+            return nullValue();
+        return numberValue();
+    }
+
+    JsonValue
+    objectValue()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::Object;
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            pos_ += 1;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            JsonValue key = stringValue();
+            skipWs();
+            expect(':');
+            v.object[key.str] = value();
+            skipWs();
+            if (peek() == ',') {
+                pos_ += 1;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    arrayValue()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::Array;
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            pos_ += 1;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(value());
+            skipWs();
+            if (peek() == ',') {
+                pos_ += 1;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    unsigned
+    hex4()
+    {
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = peek();
+            pos_ += 1;
+            cp <<= 4;
+            if (c >= '0' && c <= '9')
+                cp |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                cp |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                cp |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("bad \\u escape");
+        }
+        return cp;
+    }
+
+    void
+    appendUtf8(std::string& out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    JsonValue
+    stringValue()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::String;
+        expect('"');
+        while (peek() != '"') {
+            char c = text_[pos_];
+            pos_ += 1;
+            if (c != '\\') {
+                v.str.push_back(c);
+                continue;
+            }
+            const char esc = peek();
+            pos_ += 1;
+            switch (esc) {
+              case 'n':
+                v.str.push_back('\n');
+                break;
+              case 't':
+                v.str.push_back('\t');
+                break;
+              case 'r':
+                v.str.push_back('\r');
+                break;
+              case 'b':
+                v.str.push_back('\b');
+                break;
+              case 'f':
+                v.str.push_back('\f');
+                break;
+              case '"':
+              case '\\':
+              case '/':
+                v.str.push_back(esc);
+                break;
+              case 'u': {
+                unsigned cp = hex4();
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    // Surrogate pair: the low half must follow.
+                    if (peek() != '\\')
+                        fail("lone high surrogate");
+                    pos_ += 1;
+                    if (peek() != 'u')
+                        fail("lone high surrogate");
+                    pos_ += 1;
+                    const unsigned lo = hex4();
+                    if (lo < 0xDC00 || lo > 0xDFFF)
+                        fail("bad low surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                }
+                appendUtf8(v.str, cp);
+                break;
+              }
+              default:
+                fail("unsupported escape");
+            }
+        }
+        pos_ += 1;
+        return v;
+    }
+
+    JsonValue
+    boolValue()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::Bool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            v.boolean = true;
+            pos_ += 4;
+        } else if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    JsonValue
+    nullValue()
+    {
+        if (text_.compare(pos_, 4, "null") != 0)
+            fail("bad literal");
+        pos_ += 4;
+        return JsonValue{};
+    }
+
+    JsonValue
+    numberValue()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if ((c >= '0' && c <= '9') || c == '-' || c == '+' ||
+                c == '.' || c == 'e' || c == 'E') {
+                pos_ += 1;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            fail("expected a value");
+        JsonValue v;
+        v.type = JsonValue::Type::Number;
+        const std::string_view tok = text_.substr(start, pos_ - start);
+        const auto res = std::from_chars(tok.data(), tok.data() + tok.size(),
+                                         v.number);
+        if (res.ec != std::errc() || res.ptr != tok.data() + tok.size())
+            fail("bad number");
+        return v;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(std::string_view text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace sdpcm

@@ -1,52 +1,14 @@
 #include "obs/trace_sink.hh"
 
-#include <cmath>
-
 #include "common/logging.hh"
+#include "obs/json.hh"
 
 namespace sdpcm {
 
-namespace {
-
-/** Escape the characters JSON strings cannot contain verbatim. */
-void
-writeJsonString(std::ostream& os, const std::string& s)
-{
-    os << '"';
-    for (const char c : s) {
-        switch (c) {
-          case '"':
-            os << "\\\"";
-            break;
-          case '\\':
-            os << "\\\\";
-            break;
-          case '\n':
-            os << "\\n";
-            break;
-          case '\t':
-            os << "\\t";
-            break;
-          default:
-            os << c;
-        }
-    }
-    os << '"';
-}
-
-/** JSON has no NaN/Inf literals; clamp to null-safe numbers. */
-void
-writeJsonNumber(std::ostream& os, double v)
-{
-    if (std::isnan(v) || std::isinf(v))
-        os << 0;
-    else if (v == std::floor(v) && std::abs(v) < 1e15)
-        os << static_cast<long long>(v);
-    else
-        os << v;
-}
-
-} // namespace
+// The escaping/number formatting lives in obs/json.hh so every JSON
+// emitter (trace sink, epoch series, run reports) agrees on it.
+using json::writeNumber;
+using json::writeString;
 
 ChromeTraceSink::ChromeTraceSink(const std::string& path)
     : owned_(path), os_(&owned_)
@@ -101,9 +63,9 @@ ChromeTraceSink::writeArgs(std::initializer_list<TraceArg> args)
         if (!first)
             *os_ << ',';
         first = false;
-        writeJsonString(*os_, a.key);
+        writeString(*os_, a.key);
         *os_ << ':';
-        writeJsonNumber(*os_, a.value);
+        writeNumber(*os_, a.value);
     }
     *os_ << '}';
 }
@@ -120,7 +82,7 @@ ChromeTraceSink::threadName(unsigned tid, const std::string& name)
     openEvent("M", 0);
     *os_ << ",\"tid\":" << tid
          << ",\"name\":\"thread_name\",\"args\":{\"name\":";
-    writeJsonString(*os_, name);
+    writeString(*os_, name);
     *os_ << '}';
     closeEvent();
 }
@@ -131,9 +93,9 @@ ChromeTraceSink::begin(unsigned tid, const char* name, const char* cat,
 {
     openEvent("B", ts);
     *os_ << ",\"tid\":" << tid << ",\"name\":";
-    writeJsonString(*os_, name);
+    writeString(*os_, name);
     *os_ << ",\"cat\":";
-    writeJsonString(*os_, cat);
+    writeString(*os_, cat);
     writeArgs(args);
     closeEvent();
 }
@@ -154,9 +116,9 @@ ChromeTraceSink::instant(unsigned tid, const char* name, const char* cat,
 {
     openEvent("i", ts);
     *os_ << ",\"tid\":" << tid << ",\"s\":\"t\",\"name\":";
-    writeJsonString(*os_, name);
+    writeString(*os_, name);
     *os_ << ",\"cat\":";
-    writeJsonString(*os_, cat);
+    writeString(*os_, cat);
     writeArgs(args);
     closeEvent();
 }
@@ -167,7 +129,7 @@ ChromeTraceSink::counter(const char* name, Tick ts,
 {
     openEvent("C", ts);
     *os_ << ",\"tid\":0,\"name\":";
-    writeJsonString(*os_, name);
+    writeString(*os_, name);
     writeArgs(series);
     closeEvent();
 }

@@ -95,6 +95,10 @@ PcmDevice::state(const LineAddr& addr)
             if (!ls.ecp.recordHard(pos, stuck))
                 stats_.ecpSaturatedLines += 1;
         }
+        if (config_.lineCounters) {
+            ls.counters.ecpHighWater = static_cast<std::uint32_t>(
+                ls.ecp.entries().size());
+        }
     }
 
     auto [ins, ok] = bank.emplace(key, std::move(ls));
@@ -313,6 +317,8 @@ PcmDevice::injectDisturbance(const LineAddr& addr, unsigned pos,
             ns.physical.setBit(n_pos, true);
             outcome.wlErrors += 1;
             stats_.wlDisturbances += 1;
+            if (config_.lineCounters)
+                ns.counters.wdFlips += 1;
             plan.wlHits.push_back((n_addr.line << 9) | n_pos);
         };
 
@@ -348,6 +354,8 @@ PcmDevice::injectDisturbance(const LineAddr& addr, unsigned pos,
             ns.physical.setBit(pos, true);
             outcome.blErrors += 1;
             stats_.blDisturbances += 1;
+            if (config_.lineCounters)
+                ns.counters.wdFlips += 1;
             if (upper)
                 plan.blHitsUpper += 1;
             else
@@ -433,6 +441,8 @@ PcmDevice::finishWrite(WritePlan& plan)
             out.wlErrorsFixed += 1;
             stats_.dataCellWrites += 1;
             stats_.correctionCellWrites += 1;
+            if (config_.lineCounters)
+                fs.counters.wdCorrected += 1;
         }
     }
 
@@ -445,6 +455,8 @@ PcmDevice::finishWrite(WritePlan& plan)
         ls.dinFlags = plan.targetFlags;
         ls.writeCount += 1;
         stats_.lineWrites += 1;
+        if (config_.lineCounters)
+            ls.counters.writes += 1;
         // Refresh stuck-cell intended values held in ECP.
         for (const auto& [cell, stuck] : ls.hardCells) {
             (void)stuck;
@@ -461,6 +473,12 @@ PcmDevice::finishWrite(WritePlan& plan)
         stats_.blErrorHistogram.record(plan.blHitsLower);
     } else {
         stats_.correctionWrites += 1;
+        // Every cell a correction RESETs was a disturbed (or re-disturbed)
+        // victim cell on this line.
+        if (config_.lineCounters) {
+            ls.counters.wdCorrected += static_cast<std::uint32_t>(
+                plan.masks.resetCount());
+        }
     }
 
     // Any write to the line leaves its data cells correct, so the parked
@@ -505,13 +523,21 @@ PcmDevice::recordWdInEcp(const LineAddr& addr,
     bool all_fit = true;
     for (const unsigned pos : cells) {
         SDPCM_ASSERT(pos < kLineBits, "ECP cell out of range");
-        if (ls.ecp.recordWd(pos))
+        if (ls.ecp.recordWd(pos)) {
             stats_.ecpWdRecorded += 1;
-        else
+            if (config_.lineCounters)
+                ls.counters.wdAbsorbed += 1;
+        } else {
             all_fit = false;
+        }
     }
     if (!all_fit)
         stats_.ecpOverflows += 1;
+    if (config_.lineCounters) {
+        ls.counters.ecpHighWater = std::max(
+            ls.counters.ecpHighWater,
+            static_cast<std::uint32_t>(ls.ecp.entries().size()));
+    }
     const auto& entries = ls.ecp.entries();
     for (std::size_t slot = 0; slot < ls.ecp.capacity(); ++slot) {
         const std::uint16_t image = slot < entries.size()
@@ -553,6 +579,35 @@ PcmDevice::touchedLines() const
     for (const auto& bank : banks_)
         n += bank.size();
     return n;
+}
+
+std::vector<LineCounterSample>
+PcmDevice::lineCounterSamples() const
+{
+    std::vector<LineCounterSample> samples;
+    if (!config_.lineCounters)
+        return samples;
+    samples.reserve(touchedLines());
+    const unsigned lines_per_row = config_.geometry.linesPerRow();
+    for (unsigned b = 0; b < banks_.size(); ++b) {
+        for (const auto& [key, ls] : banks_[b]) {
+            LineCounterSample s;
+            s.addr = LineAddr{b,
+                              key / lines_per_row,
+                              static_cast<unsigned>(key % lines_per_row)};
+            s.counters = ls.counters;
+            samples.push_back(s);
+        }
+    }
+    std::sort(samples.begin(), samples.end(),
+              [](const LineCounterSample& a, const LineCounterSample& b) {
+                  if (a.addr.bank != b.addr.bank)
+                      return a.addr.bank < b.addr.bank;
+                  if (a.addr.row != b.addr.row)
+                      return a.addr.row < b.addr.row;
+                  return a.addr.line < b.addr.line;
+              });
+    return samples;
 }
 
 void

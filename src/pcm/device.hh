@@ -55,6 +55,30 @@ struct AgingConfig
     double exponent = 3.0;
 };
 
+/**
+ * Per-line activity counters for spatial heatmaps (opt-in).
+ *
+ * Disabled by default: the hot path pays only a predictable branch per
+ * increment site when `DeviceConfig::lineCounters` is off, and the
+ * per-line memory cost (20 bytes/line) is only incurred for lines that
+ * are materialised anyway.
+ */
+struct LineCounters
+{
+    std::uint32_t writes = 0;      //!< completed normal data writes
+    std::uint32_t wdFlips = 0;     //!< WD flips landed on this line (victim)
+    std::uint32_t wdAbsorbed = 0;  //!< WD errors parked in this line's ECP
+    std::uint32_t wdCorrected = 0; //!< cells fixed by correction/DIN repair
+    std::uint32_t ecpHighWater = 0; //!< peak ECP entries in use
+};
+
+/** One line's counters with its address (heatmap export). */
+struct LineCounterSample
+{
+    LineAddr addr;
+    LineCounters counters;
+};
+
 /** Device configuration. */
 struct DeviceConfig
 {
@@ -73,6 +97,8 @@ struct DeviceConfig
     DinConfig din;
     AgingConfig aging;
     std::uint64_t seed = 1;
+    /** Track per-line LineCounters for spatial heatmaps (see above). */
+    bool lineCounters = false;
 };
 
 /** Aggregate device statistics. */
@@ -267,6 +293,12 @@ class PcmDevice
     /** Number of distinct lines materialised (test/diagnostic hook). */
     std::size_t touchedLines() const;
 
+    /**
+     * Snapshot of every materialised line's counters, sorted by
+     * (bank, row, line). Empty unless `DeviceConfig::lineCounters` is set.
+     */
+    std::vector<LineCounterSample> lineCounterSamples() const;
+
   private:
     struct LineState
     {
@@ -278,6 +310,7 @@ class PcmDevice
         /** Last content written to each ECP entry slot (wear model). */
         std::vector<std::uint16_t> ecpSlotImage;
         std::uint32_t writeCount = 0;
+        LineCounters counters; //!< updated only when config_.lineCounters
     };
 
     LineState& state(const LineAddr& addr);

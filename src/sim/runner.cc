@@ -41,6 +41,7 @@ runOne(const SchemeConfig& scheme, const WorkloadSpec& workload,
     sc.maxTicks = cfg.maxTicks;
     sc.tracePath = cfg.tracePath;
     sc.epochTicks = cfg.epochTicks;
+    sc.lineCounters = cfg.lineCounters;
     System system(sc, workload);
     system.run();
     return system.metrics();

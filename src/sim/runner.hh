@@ -46,6 +46,8 @@ struct RunnerConfig
     // matrix executor drops it with a warning.
     std::string tracePath;
     Tick epochTicks = 0;
+    /** Track per-line wear/WD counters (RunMetrics::lines, heatmaps). */
+    bool lineCounters = false;
 };
 
 /** Run one (scheme, workload) pair and return its metrics. */

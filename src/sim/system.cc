@@ -66,6 +66,7 @@ System::System(const SystemConfig& config, const WorkloadSpec& workload)
     dc.din = config_.din;
     dc.aging = config_.aging;
     dc.seed = config_.seed;
+    dc.lineCounters = config_.lineCounters;
     device_ = std::make_unique<PcmDevice>(dc);
 
     ctrl_ = std::make_unique<MemoryController>(events_, *device_,
@@ -245,6 +246,8 @@ System::metrics() const
     m.ctrl = ctrl_->stats();
     if (epochSampler_)
         m.epochs = epochSampler_->series();
+    if (config_.lineCounters)
+        m.lines = device_->lineCounterSamples();
     return m;
 }
 

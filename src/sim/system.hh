@@ -60,6 +60,8 @@ struct SystemConfig
     std::string tracePath;
     /** Sample controller counters every N ticks (0 disables). */
     Tick epochTicks = 0;
+    /** Track per-line wear/WD counters for spatial heatmaps. */
+    bool lineCounters = false;
 };
 
 /** Extracted results of one run. */
@@ -73,6 +75,8 @@ struct RunMetrics
     DeviceStats device;
     CtrlStats ctrl;
     EpochSeries epochs; //!< empty unless SystemConfig::epochTicks > 0
+    /** Sorted per-line counters; empty unless lineCounters was on. */
+    std::vector<LineCounterSample> lines;
 
     /** Correction writes per completed data write (Figure 12). */
     double

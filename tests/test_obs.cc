@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "obs/csv.hh"
 #include "obs/epoch_sampler.hh"
+#include "obs/json.hh"
 #include "obs/trace_sink.hh"
 #include "sim/event_queue.hh"
 #include "sim/runner.hh"
@@ -446,7 +448,13 @@ TEST(EpochSampler, CsvShapeMatchesColumns)
     m.epochs.dumpCsv(os);
     std::istringstream is(os.str());
     std::string line;
-    ASSERT_TRUE(std::getline(is, line));
+    // The file leads with '#' comment lines documenting the delta-sum
+    // invariant; consumers (and this test) skip them.
+    std::size_t comments = 0;
+    while (std::getline(is, line) && !line.empty() && line[0] == '#')
+        comments += 1;
+    EXPECT_GT(comments, 0u) << "expected a '#' header comment";
+    EXPECT_NE(os.str().find("Delta-sum invariant"), std::string::npos);
 
     std::string expected_header;
     for (const auto& c : EpochSeries::columns())
@@ -628,6 +636,189 @@ TEST(Histogram, EmptyPercentileIsZero)
     EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
     QuantileSketch s;
     EXPECT_DOUBLE_EQ(s.percentile(0.99), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Shared JSON/CSV helpers (obs/json.hh, obs/csv.hh)
+// ---------------------------------------------------------------------
+
+std::string
+jsonString(std::string_view s)
+{
+    std::ostringstream os;
+    json::writeString(os, s);
+    return os.str();
+}
+
+TEST(JsonHelpers, EscapesQuotesBackslashesAndControlChars)
+{
+    EXPECT_EQ(jsonString("plain"), "\"plain\"");
+    EXPECT_EQ(jsonString("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(jsonString("a\\b"), "\"a\\\\b\"");
+    EXPECT_EQ(jsonString("a\nb\tc\rd"), "\"a\\nb\\tc\\rd\"");
+    EXPECT_EQ(jsonString(std::string_view("\b\f", 2)), "\"\\b\\f\"");
+    // Control characters without a named escape use \u00XX.
+    EXPECT_EQ(jsonString(std::string_view("\x01\x1f", 2)),
+              "\"\\u0001\\u001f\"");
+    // NUL embedded mid-string must survive, not truncate.
+    EXPECT_EQ(jsonString(std::string_view("a\0b", 3)), "\"a\\u0000b\"");
+}
+
+TEST(JsonHelpers, EscapedStringsRoundTripThroughSharedParser)
+{
+    for (const std::string s :
+         {std::string("a\"b\\c\nd\te\rf"), std::string("\x01\x02\x1f"),
+          std::string("a\0b", 3), std::string("plain ascii")}) {
+        std::ostringstream os;
+        json::writeString(os, s);
+        const JsonValue v = parseJson(os.str());
+        ASSERT_EQ(v.type, JsonValue::Type::String);
+        EXPECT_EQ(v.str, s);
+    }
+}
+
+TEST(JsonHelpers, NumbersRoundTripExactly)
+{
+    // The regression gate's self-diff-is-empty property needs write ->
+    // parse to reproduce the double bit-for-bit.
+    const double cases[] = {0.0,   -0.0,        1.0,          1.5,
+                            0.1,   1.0 / 3.0,   1e-9,         123456789.0,
+                            -42.0, 9007199254740992.0, 3.0e300, 1.37};
+    for (const double v : cases) {
+        std::ostringstream os;
+        json::writeNumber(os, v);
+        const JsonValue parsed = parseJson(os.str());
+        ASSERT_EQ(parsed.type, JsonValue::Type::Number) << os.str();
+        EXPECT_EQ(parsed.number, v) << os.str();
+    }
+    // NaN/Inf cannot be represented in JSON and clamp to 0.
+    std::ostringstream os;
+    json::writeNumber(os, std::nan(""));
+    os << ' ';
+    json::writeNumber(os, std::numeric_limits<double>::infinity());
+    EXPECT_EQ(os.str(), "0 0");
+}
+
+TEST(JsonHelpers, WriterProducesParsableNestedDocument)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("name", "run \"quoted\"");
+    w.kv("count", std::uint64_t{42});
+    w.key("nested").beginObject().kv("pi", 3.25).endObject();
+    w.key("list").beginArray().value(1.0).value(2.0).endArray();
+    w.endObject();
+    const JsonValue v = parseJson(os.str());
+    EXPECT_EQ(v.at("name").str, "run \"quoted\"");
+    EXPECT_EQ(v.at("count").number, 42.0);
+    EXPECT_EQ(v.at("nested").at("pi").number, 3.25);
+    ASSERT_EQ(v.at("list").array.size(), 2u);
+    EXPECT_EQ(v.at("list").array[1].number, 2.0);
+}
+
+TEST(CsvHelpers, QuotesOnlyWhenNeeded)
+{
+    const auto field = [](std::string_view s) {
+        std::ostringstream os;
+        csv::writeField(os, s);
+        return os.str();
+    };
+    EXPECT_EQ(field("plain"), "plain");
+    EXPECT_EQ(field("has,comma"), "\"has,comma\"");
+    EXPECT_EQ(field("has\"quote"), "\"has\"\"quote\"");
+    EXPECT_EQ(field("has\nnewline"), "\"has\nnewline\"");
+}
+
+TEST(StatSnapshot, ToJsonRoundTripsValues)
+{
+    StatSnapshot s;
+    s.set("a.count", 12345.0);
+    s.set("b.mean", 1.0 / 3.0);
+    s.set("weird \"name\"", -0.5);
+    std::ostringstream os;
+    s.toJson(os);
+    const JsonValue v = parseJson(os.str());
+    EXPECT_EQ(v.at("a.count").number, 12345.0);
+    EXPECT_EQ(v.at("b.mean").number, 1.0 / 3.0);
+    EXPECT_EQ(v.at("weird \"name\"").number, -0.5);
+}
+
+// ---------------------------------------------------------------------
+// QuantileSketch edge cases
+// ---------------------------------------------------------------------
+
+TEST(QuantileSketch, EmptySketchReportsZeroEverywhere)
+{
+    QuantileSketch s;
+    EXPECT_EQ(s.count(), 0u);
+    for (const double q : {0.0, 0.5, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(s.percentile(q), 0.0);
+}
+
+TEST(QuantileSketch, SingleSampleIsEveryPercentile)
+{
+    QuantileSketch s;
+    s.record(7);
+    for (const double q : {0.0, 0.5, 1.0})
+        EXPECT_DOUBLE_EQ(s.percentile(q), 7.0);
+    // Out-of-range quantiles clamp rather than misbehave.
+    EXPECT_DOUBLE_EQ(s.percentile(-1.0), 7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(2.0), 7.0);
+}
+
+TEST(QuantileSketch, ZeroValuesAreExact)
+{
+    QuantileSketch s;
+    for (int i = 0; i < 10; ++i)
+        s.record(0);
+    EXPECT_EQ(s.count(), 10u);
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 0.0);
+}
+
+TEST(LatencyStat, NegativeValuesClampToZeroInTheSketch)
+{
+    // The sketch only holds non-negative integers; LatencyStat records
+    // negative latencies (which should not occur, but must not crash or
+    // corrupt buckets) as 0 while the running moments keep the sign.
+    LatencyStat s;
+    s.record(-5.0);
+    s.record(-1.0);
+    s.record(3.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.min(), -5.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 3.0);
+}
+
+TEST(QuantileSketch, RelativeErrorBoundHoldsOnAdversarialInput)
+{
+    // Adversarial for a log-linear sketch: values planted just past
+    // sub-bucket boundaries across many octaves, where midpoint
+    // reporting is at its worst. The bound is 1/16 = 6.25% relative
+    // error per the sketch's documented contract.
+    std::vector<std::uint64_t> values;
+    for (unsigned octave = 4; octave < 40; ++octave) {
+        const std::uint64_t base = 1ULL << octave;
+        const std::uint64_t width =
+            std::max<std::uint64_t>(1, base >> 4);
+        for (unsigned sub = 0; sub < 16; ++sub) {
+            values.push_back(base + sub * width);          // bucket floor
+            values.push_back(base + sub * width + width - 1); // ceiling
+        }
+    }
+    QuantileSketch s;
+    for (const std::uint64_t v : values)
+        s.record(v);
+    std::sort(values.begin(), values.end());
+    for (const double q :
+         {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+        const double exact = exactPercentile(values, q);
+        const double approx = s.percentile(q);
+        EXPECT_LE(std::abs(approx - exact), exact * 0.0625)
+            << "p" << q * 100 << ": " << approx << " vs " << exact;
+    }
 }
 
 TEST(LatencyStat, CombinesMomentsAndQuantiles)

@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Run-report and regression-gate tests: schema shape, bit-exact value
+ * round-trips against the in-memory snapshot, the diff/threshold logic,
+ * and the per-line counter / heatmap pipeline (including the (1:2)-Alloc
+ * no-use-strip invariant).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/heatmap.hh"
+#include "obs/report.hh"
+#include "sim/runner.hh"
+
+namespace sdpcm {
+namespace {
+
+RunnerConfig
+quickConfig()
+{
+    RunnerConfig cfg;
+    cfg.refsPerCore = 1500;
+    cfg.cores = 4;
+    cfg.seed = 3;
+    return cfg;
+}
+
+RunReport
+quickReport()
+{
+    const RunnerConfig cfg = quickConfig();
+    RunReport report;
+    report.bench = "test";
+    report.config = cfg;
+    report.addRun(runOne(SchemeConfig::baselineVnc(),
+                         workloadFromProfile("mcf"), cfg));
+    report.addRun(runOne(SchemeConfig::sdpcm(),
+                         workloadFromProfile("lbm"), cfg));
+    report.environment = {{"wall_seconds", 1.25}};
+    return report;
+}
+
+std::string
+toText(const RunReport& report)
+{
+    std::ostringstream os;
+    report.write(os);
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Report serialisation
+// ---------------------------------------------------------------------
+
+TEST(RunReport, SchemaShape)
+{
+    const std::string text = toText(quickReport());
+    const JsonValue doc = parseJson(text);
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.at("schema_version").number,
+              static_cast<double>(kReportSchemaVersion));
+    EXPECT_EQ(doc.at("kind").str, "sdpcm_run_report");
+    EXPECT_EQ(doc.at("bench").str, "test");
+    EXPECT_TRUE(doc.at("build").has("compiler"));
+    EXPECT_TRUE(doc.at("build").has("cxx_standard"));
+    EXPECT_TRUE(doc.at("build").has("assertions"));
+    EXPECT_EQ(doc.at("config").at("refs_per_core").number, 1500.0);
+    EXPECT_EQ(doc.at("config").at("cores").number, 4.0);
+    ASSERT_TRUE(doc.at("runs").isArray());
+    ASSERT_EQ(doc.at("runs").array.size(), 2u);
+    const JsonValue& run0 = doc.at("runs").array[0];
+    EXPECT_EQ(run0.at("workload").str, "mcf");
+    EXPECT_TRUE(run0.at("stats").isObject());
+    EXPECT_TRUE(run0.at("stats").has("sim.meanCpi"));
+    EXPECT_EQ(doc.at("environment").at("wall_seconds").number, 1.25);
+}
+
+/** Every stat value survives write -> parse bit-exactly. */
+TEST(RunReport, StatValuesBitMatchTheSnapshot)
+{
+    const RunnerConfig cfg = quickConfig();
+    const RunMetrics m = runOne(SchemeConfig::lazyCPreRead(),
+                                workloadFromProfile("mcf"), cfg);
+    RunReport report;
+    report.bench = "test";
+    report.config = cfg;
+    report.addRun(m);
+
+    const ParsedReport parsed = parseReport(toText(report));
+    const auto& stats =
+        parsed.runs.at(m.scheme + "/" + m.workload);
+    const StatSnapshot snapshot = m.toSnapshot();
+    ASSERT_EQ(stats.size(), snapshot.values().size());
+    for (const auto& [name, value] : snapshot.values()) {
+        ASSERT_TRUE(stats.count(name)) << name;
+        // EQ, not NEAR: the shared number formatter guarantees the
+        // round-trip reproduces the double bit for bit.
+        EXPECT_EQ(stats.at(name), value) << name;
+    }
+}
+
+TEST(RunReport, ParseRejectsForeignJson)
+{
+    EXPECT_THROW(parseReport("{\"kind\":\"other\"}"), std::runtime_error);
+    EXPECT_THROW(parseReport("[1,2,3]"), std::runtime_error);
+    EXPECT_THROW(parseReport("{\"kind\":\"sdpcm_run_report\","
+                             "\"schema_version\":1}"),
+                 std::runtime_error); // no runs array
+}
+
+// ---------------------------------------------------------------------
+// Thresholds and globbing
+// ---------------------------------------------------------------------
+
+TEST(ThresholdSet, GlobMatching)
+{
+    EXPECT_TRUE(globMatch("*", "anything/at/all"));
+    EXPECT_TRUE(globMatch("*/sim.meanCpi", "sdpcm(2:3)/mcf/sim.meanCpi"));
+    EXPECT_TRUE(globMatch("*/*.mean", "a/b/ctrl.readLatency.mean"));
+    EXPECT_FALSE(globMatch("*/sim.meanCpi", "a/b/sim.meanCpiX"));
+    EXPECT_TRUE(globMatch("a?c", "abc"));
+    EXPECT_FALSE(globMatch("a?c", "ac"));
+    EXPECT_TRUE(globMatch("", ""));
+    EXPECT_FALSE(globMatch("", "x"));
+}
+
+TEST(ThresholdSet, FirstMatchWinsAndDefaultApplies)
+{
+    std::istringstream is(
+        "# comment\n"
+        "*/special.metric 0.5   # trailing comment\n"
+        "*/special.* 0.1\n"
+        "default 0.01\n");
+    const ThresholdSet set = ThresholdSet::parse(is);
+    EXPECT_DOUBLE_EQ(set.relFor("s/w/special.metric"), 0.5);
+    EXPECT_DOUBLE_EQ(set.relFor("s/w/special.other"), 0.1);
+    EXPECT_DOUBLE_EQ(set.relFor("s/w/unrelated"), 0.01);
+}
+
+TEST(ThresholdSet, MalformedLinesThrow)
+{
+    std::istringstream missing("pattern-without-threshold\n");
+    EXPECT_THROW(ThresholdSet::parse(missing), std::runtime_error);
+    std::istringstream extra("a 0.1 b\n");
+    EXPECT_THROW(ThresholdSet::parse(extra), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// diffReports
+// ---------------------------------------------------------------------
+
+TEST(ReportDiff, SelfDiffIsEmpty)
+{
+    const ParsedReport r = parseReport(toText(quickReport()));
+    const DiffResult diff = diffReports(r, r, ThresholdSet{});
+    EXPECT_TRUE(diff.ok);
+    EXPECT_TRUE(diff.deltas.empty());
+    EXPECT_TRUE(diff.notes.empty());
+}
+
+TEST(ReportDiff, PerturbationRegressesAndThresholdAbsorbs)
+{
+    const ParsedReport base = parseReport(toText(quickReport()));
+    ParsedReport cur = base;
+    const std::string run = cur.runs.begin()->first;
+    auto& stats = cur.runs.begin()->second;
+    const std::string metric = "ctrl.writesCompleted";
+    ASSERT_TRUE(stats.count(metric));
+    stats[metric] += 1.0; // tiny relative change on a large counter
+
+    const DiffResult strict = diffReports(base, cur, ThresholdSet{});
+    EXPECT_FALSE(strict.ok);
+    ASSERT_EQ(strict.regressions(), 1u);
+    EXPECT_EQ(strict.deltas[0].run, run);
+    EXPECT_EQ(strict.deltas[0].metric, metric);
+
+    ThresholdSet loose;
+    loose.defaultRel = 0.5;
+    const DiffResult absorbed = diffReports(base, cur, loose);
+    EXPECT_TRUE(absorbed.ok);
+    ASSERT_EQ(absorbed.deltas.size(), 1u); // still reported as changed
+    EXPECT_FALSE(absorbed.deltas[0].regressed);
+}
+
+TEST(ReportDiff, MissingDataFailsAdditionsDoNot)
+{
+    const ParsedReport base = parseReport(toText(quickReport()));
+
+    ParsedReport missing_metric = base;
+    missing_metric.runs.begin()->second.erase("sim.meanCpi");
+    EXPECT_FALSE(
+        diffReports(base, missing_metric, ThresholdSet{}).ok);
+
+    ParsedReport missing_run = base;
+    missing_run.runs.erase(missing_run.runs.begin());
+    EXPECT_FALSE(diffReports(base, missing_run, ThresholdSet{}).ok);
+
+    ParsedReport added = base;
+    added.runs.begin()->second["new.metric"] = 1.0;
+    const DiffResult d = diffReports(base, added, ThresholdSet{});
+    EXPECT_TRUE(d.ok);
+    ASSERT_EQ(d.notes.size(), 1u);
+    EXPECT_NE(d.notes[0].find("added"), std::string::npos);
+}
+
+TEST(ReportDiff, SchemaVersionMismatchFails)
+{
+    const ParsedReport base = parseReport(toText(quickReport()));
+    ParsedReport other = base;
+    other.schemaVersion = base.schemaVersion + 1;
+    const DiffResult d = diffReports(base, other, ThresholdSet{});
+    EXPECT_FALSE(d.ok);
+    ASSERT_FALSE(d.notes.empty());
+    EXPECT_NE(d.notes[0].find("schema version"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Per-line counters and heatmaps
+// ---------------------------------------------------------------------
+
+RunMetrics
+countersRun(const SchemeConfig& scheme)
+{
+    RunnerConfig cfg = quickConfig();
+    cfg.lineCounters = true;
+    return runOne(scheme, workloadFromProfile("mcf"), cfg);
+}
+
+TEST(LineCounters, DisabledByDefaultAndFreeOfSamples)
+{
+    const RunnerConfig cfg = quickConfig();
+    const RunMetrics m = runOne(SchemeConfig::baselineVnc(),
+                                workloadFromProfile("mcf"), cfg);
+    EXPECT_TRUE(m.lines.empty());
+}
+
+TEST(LineCounters, PerLineWritesSumToDeviceTotal)
+{
+    const RunMetrics m = countersRun(SchemeConfig::lazyCPreRead());
+    ASSERT_FALSE(m.lines.empty());
+    std::uint64_t writes = 0, flips = 0, absorbed = 0;
+    for (const LineCounterSample& s : m.lines) {
+        writes += s.counters.writes;
+        flips += s.counters.wdFlips;
+        absorbed += s.counters.wdAbsorbed;
+    }
+    EXPECT_EQ(writes, m.device.lineWrites);
+    EXPECT_EQ(flips, m.device.wlDisturbances + m.device.blDisturbances);
+    EXPECT_EQ(absorbed, m.device.ecpWdRecorded);
+
+    // Samples arrive sorted by (bank, row, line).
+    for (std::size_t i = 1; i < m.lines.size(); ++i) {
+        const LineAddr& a = m.lines[i - 1].addr;
+        const LineAddr& b = m.lines[i].addr;
+        const auto key = [](const LineAddr& x) {
+            return std::tuple(x.bank, x.row, x.line);
+        };
+        EXPECT_LT(key(a), key(b));
+    }
+}
+
+TEST(LineCounters, CountersDoNotChangeTheSnapshot)
+{
+    const RunnerConfig off = quickConfig();
+    RunnerConfig on = off;
+    on.lineCounters = true;
+    const auto scheme = SchemeConfig::sdpcm();
+    const auto workload = workloadFromProfile("lbm");
+    const StatSnapshot a = runOne(scheme, workload, off).toSnapshot();
+    const StatSnapshot b = runOne(scheme, workload, on).toSnapshot();
+    EXPECT_EQ(a.values(), b.values());
+}
+
+/** (1:2)-Alloc: odd strips hold no data, so they take zero writes. */
+TEST(Heatmap, NoUseStripsShowZeroWritesUnderOneTwoAlloc)
+{
+    const RunMetrics m = countersRun(SchemeConfig::nmOnly(NmRatio{1, 2}));
+    ASSERT_FALSE(m.lines.empty());
+    std::uint64_t even = 0, odd = 0, odd_flips = 0;
+    for (const LineCounterSample& s : m.lines) {
+        if (s.addr.row % 2 == 1) {
+            odd += s.counters.writes;
+            odd_flips += s.counters.wdFlips;
+        } else {
+            even += s.counters.writes;
+        }
+    }
+    EXPECT_GT(even, 0u);
+    EXPECT_EQ(odd, 0u) << "no-use strips must take no data writes";
+    // The strips still absorb disturbance physically — that is the point
+    // of the allocation scheme.
+    EXPECT_GT(odd_flips, 0u);
+}
+
+TEST(Heatmap, BuildBinsAndExportsConsistently)
+{
+    const RunMetrics m = countersRun(SchemeConfig::lazyCPreRead());
+    const DimmGeometry geom;
+    const Heatmap map = buildHeatmap(m.lines, HeatmapKind::Writes,
+                                     geom.banks(), geom.linesPerRow(), 16);
+    EXPECT_EQ(map.banks, geom.banks());
+    EXPECT_EQ(map.lines, geom.linesPerRow());
+    EXPECT_LE(map.rowBins, 16u);
+    EXPECT_EQ(map.values.size(),
+              static_cast<std::size_t>(map.banks) * map.rowBins *
+                  map.lines);
+
+    // The grid conserves the total regardless of binning.
+    std::uint64_t grid_total = 0;
+    for (const std::uint64_t v : map.values)
+        grid_total += v;
+    EXPECT_EQ(grid_total, m.device.lineWrites);
+
+    // CSV: one record per grid cell after the comment header.
+    std::ostringstream csv;
+    writeHeatmapCsv(map, csv);
+    std::istringstream is(csv.str());
+    std::string line;
+    std::size_t rows = 0;
+    bool header_seen = false;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (!header_seen) {
+            EXPECT_EQ(line, "bank,row_bin,row_lo,row_hi,line,value");
+            header_seen = true;
+            continue;
+        }
+        rows += 1;
+    }
+    EXPECT_EQ(rows, map.values.size());
+
+    // PGM: P2 header, width x height pixels, maxval 255.
+    std::ostringstream pgm;
+    writeHeatmapPgm(map, pgm);
+    std::istringstream ps(pgm.str());
+    std::string magic;
+    ps >> magic;
+    EXPECT_EQ(magic, "P2");
+    ps >> std::ws;
+    std::getline(ps, line); // comment
+    unsigned w = 0, h = 0, maxval = 0;
+    ps >> w >> h >> maxval;
+    EXPECT_EQ(w, map.lines);
+    EXPECT_EQ(h, map.banks * map.rowBins);
+    EXPECT_EQ(maxval, 255u);
+    std::size_t pixels = 0;
+    unsigned px = 0, px_max = 0;
+    while (ps >> px) {
+        pixels += 1;
+        px_max = std::max(px_max, px);
+    }
+    EXPECT_EQ(pixels, static_cast<std::size_t>(w) * h);
+    EXPECT_LE(px_max, 255u);
+    EXPECT_EQ(px_max, 255u) << "hottest cell must scale to maxval";
+}
+
+TEST(Heatmap, KindNamesRoundTripAndRejectUnknown)
+{
+    for (const HeatmapKind kind :
+         {HeatmapKind::Writes, HeatmapKind::WdFlips,
+          HeatmapKind::WdAbsorbed, HeatmapKind::WdCorrected,
+          HeatmapKind::EcpHighWater}) {
+        EXPECT_EQ(heatmapKindByName(heatmapKindName(kind)), kind);
+    }
+    EXPECT_THROW(heatmapKindByName("bogus"), std::invalid_argument);
+    EXPECT_EQ(heatmapKindByName("wd_flips"), HeatmapKind::WdFlips);
+}
+
+TEST(Heatmap, EmptySamplesYieldZeroMap)
+{
+    const Heatmap map =
+        buildHeatmap({}, HeatmapKind::Writes, 4, 8, 16);
+    EXPECT_EQ(map.rowBins, 1u);
+    EXPECT_EQ(map.values.size(), 4u * 8u);
+    EXPECT_EQ(map.maxValue(), 0u);
+}
+
+} // namespace
+} // namespace sdpcm

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Cross-run regression gate: compare two run reports metric by metric.
+ *
+ *   report_diff BASELINE.json CURRENT.json [--thresholds=FILE]
+ *               [--show-all]
+ *
+ * Every metric of every (scheme, workload) run in BASELINE must exist in
+ * CURRENT and match within its relative threshold (default: exact — the
+ * simulator is deterministic). Changed metrics are printed as a delta
+ * table; structural notes (missing/added runs or metrics) follow.
+ *
+ * Exit codes: 0 = no regression, 1 = regression (or missing baseline
+ * data), 2 = usage/parse error. Metrics or runs only present in CURRENT
+ * are reported but never fail the gate (additive schema rule —
+ * see obs/report.hh).
+ */
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/args.hh"
+#include "common/table.hh"
+#include "obs/report.hh"
+
+using namespace sdpcm;
+
+namespace {
+
+/** Full-precision value formatting (TablePrinter::fmt rounds). */
+std::string
+num(double v)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    // Positional args are the two report paths; ArgParser only handles
+    // --key=value (and warns on positionals), so split argv first.
+    std::vector<std::string> paths;
+    std::vector<char*> flag_argv = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0)
+            flag_argv.push_back(argv[i]);
+        else
+            paths.push_back(arg);
+    }
+    ArgParser args(static_cast<int>(flag_argv.size()), flag_argv.data());
+    if (args.has("help") || paths.size() != 2) {
+        std::cerr << "usage: report_diff BASELINE.json CURRENT.json"
+                     " [--thresholds=FILE] [--show-all]\n";
+        return paths.size() == 2 ? 0 : 2;
+    }
+
+    ParsedReport baseline, current;
+    ThresholdSet thresholds;
+    try {
+        baseline = parseReportFile(paths[0]);
+        current = parseReportFile(paths[1]);
+        const std::string thr_path = args.getString("thresholds", "");
+        if (!thr_path.empty())
+            thresholds = ThresholdSet::parseFile(thr_path);
+    } catch (const std::runtime_error& e) {
+        std::cerr << "report_diff: " << e.what() << "\n";
+        return 2;
+    }
+
+    const DiffResult diff = diffReports(baseline, current, thresholds);
+    const bool show_all = args.getBool("show-all", false);
+
+    std::cout << "baseline: " << paths[0] << " (" << baseline.runs.size()
+              << " runs)\ncurrent : " << paths[1] << " ("
+              << current.runs.size() << " runs)\n\n";
+
+    std::size_t shown = 0;
+    TablePrinter t({"run", "metric", "baseline", "current", "rel-delta",
+                    "threshold", "status"});
+    for (const MetricDelta& d : diff.deltas) {
+        if (!d.regressed && !show_all)
+            continue;
+        ++shown;
+        t.addRow({d.run, d.metric, num(d.baseline), num(d.current),
+                  TablePrinter::pct(d.rel, 4),
+                  TablePrinter::pct(d.threshold, 4),
+                  d.regressed ? "REGRESSED" : "ok"});
+    }
+    if (shown > 0) {
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    for (const std::string& note : diff.notes)
+        std::cout << note << "\n";
+
+    const std::size_t within =
+        diff.deltas.size() - diff.regressions();
+    std::cout << (diff.ok ? "OK" : "REGRESSION") << ": "
+              << diff.regressions() << " regressed, " << within
+              << " changed within thresholds";
+    if (within > 0 && !show_all)
+        std::cout << " (--show-all to list)";
+    std::cout << "\n";
+    return diff.ok ? 0 : 1;
+}
