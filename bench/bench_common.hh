@@ -14,6 +14,12 @@
  *              of every (scheme, workload) cell. Each bench has a
  *              default REPORT_<bench>.json path; --report= (empty)
  *              disables the report.
+ *   --verify-oracle  run the shadow-memory integrity oracle on every
+ *              cell (verify/oracle.hh); checkOracle() fails the bench
+ *              if any cell saw a mismatch.
+ *   --inject=SPEC  deterministic fault injection, e.g.
+ *              --inject=stuck=0.5,ecp=2,wd=0.01,seed=3
+ *              (verify/faultinject.hh).
  */
 
 #ifndef SDPCM_BENCH_COMMON_HH
@@ -45,6 +51,9 @@ configFromArgs(int argc, char** argv, std::int64_t default_refs = 10000)
     cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
     cfg.cores = static_cast<unsigned>(args.getInt("cores", 8));
     cfg.jobs = static_cast<unsigned>(args.getInt("jobs", 0));
+    cfg.verifyOracle = args.getBool("verify-oracle", false);
+    if (args.has("inject"))
+        cfg.faults = FaultSpec::parse(args.getString("inject", ""));
     return cfg;
 }
 
@@ -56,7 +65,44 @@ banner(const std::string& title, const RunnerConfig& cfg)
               << " memory references per core (use --refs=N to scale; "
                  "the paper used 10M), "
               << resolveJobs(cfg.jobs)
-              << " parallel runs (--jobs=N)\n\n";
+              << " parallel runs (--jobs=N)\n";
+    if (cfg.verifyOracle)
+        std::cout << "shadow-memory oracle ON (--verify-oracle)\n";
+    if (cfg.faults.any())
+        std::cout << "fault injection: " << cfg.faults.describe() << "\n";
+    std::cout << "\n";
+}
+
+/**
+ * When --verify-oracle was on, report per-cell mismatch totals and
+ * return the process exit code (1 on any mismatch, else 0). With the
+ * oracle off this is a silent no-op returning 0, so benches can
+ * unconditionally `return bench::checkOracle(cfg, results);`-combine it
+ * with their own exit status.
+ */
+inline int
+checkOracle(const RunnerConfig& cfg,
+            const std::vector<SchemeResults>& results)
+{
+    if (!cfg.verifyOracle)
+        return 0;
+    std::uint64_t total = 0;
+    for (const SchemeResults& scheme : results) {
+        for (const auto& [name, metrics] : scheme.byWorkload) {
+            if (metrics.oracle.mismatches == 0)
+                continue;
+            total += metrics.oracle.mismatches;
+            std::cout << "oracle MISMATCH: " << scheme.scheme << " / "
+                      << name << ": " << metrics.oracle.mismatches
+                      << " mismatch(es)\n";
+        }
+    }
+    if (total == 0) {
+        std::cout << "oracle: all cells clean\n";
+        return 0;
+    }
+    std::cout << "oracle: " << total << " mismatch(es) total\n";
+    return 1;
 }
 
 /**

@@ -142,5 +142,6 @@ main(int argc, char** argv)
                       {"parallel_seconds", parallel_s},
                       {"speedup", speedup},
                       {"identical", identical ? 1.0 : 0.0}});
-    return identical ? 0 : 1;
+    const int oracle_rc = checkOracle(cfg, serial_results);
+    return identical ? oracle_rc : 1;
 }

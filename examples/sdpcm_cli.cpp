@@ -125,7 +125,21 @@ main(int argc, char** argv)
             "  --heatmap-csv=FILE --heatmap-pgm=FILE\n"
             "                    output paths (default "
             "heatmap_<kind>.csv/.pgm)\n"
-            "  --heatmap-bins=N  max row bins per bank (default 64)\n";
+            "  --heatmap-bins=N  max row bins per bank (default 64)\n"
+            "\n"
+            "verification:\n"
+            "  --verify-oracle   shadow every line and check all reads,\n"
+            "                    verify buffers, commits and the final "
+            "drain\n"
+            "                    state; nonzero exit on any mismatch\n"
+            "  --inject=SPEC     deterministic fault injection, SPEC is\n"
+            "                    comma-separated key=value pairs:\n"
+            "                    stuck=F (mean stuck cells/line), ecp=N\n"
+            "                    (ECP entries stolen/line), wd=F (forced\n"
+            "                    WD-flip chance), seed=N\n"
+            "                    e.g. --inject=stuck=0.3,ecp=2,wd=0.02\n"
+            "  --workload=qstress adversarial queue-stress mix that\n"
+            "                    maximises PreRead/forwarding races\n";
         return 0;
     }
 
@@ -157,6 +171,14 @@ main(int argc, char** argv)
         static_cast<Tick>(args.getInt("epoch", 0));
     const bool want_heatmap = args.has("heatmap");
     cfg.lineCounters = args.getBool("line-counters", false) || want_heatmap;
+    cfg.verifyOracle = args.getBool("verify-oracle", false);
+    if (args.has("inject")) {
+        try {
+            cfg.faults = FaultSpec::parse(args.getString("inject", ""));
+        } catch (const std::invalid_argument& e) {
+            SDPCM_FATAL(e.what());
+        }
+    }
 
     const SchemeConfig scheme =
         schemeByName(args.getString("scheme", "lazyc+preread"), args);
@@ -176,8 +198,10 @@ main(int argc, char** argv)
             });
         TablePrinter t({"workload", "meanCpi", "writes", "corrections",
                         "corr/write", "p99 read lat"});
+        std::uint64_t oracle_mismatches = 0;
         for (const auto& w : workloads) {
             const RunMetrics& m = results.front().at(w.name);
+            oracle_mismatches += m.oracle.mismatches;
             t.addRow({w.name, TablePrinter::fmt(m.meanCpi, 3),
                       TablePrinter::fmt(
                           static_cast<double>(m.ctrl.writesCompleted), 0),
@@ -189,6 +213,13 @@ main(int argc, char** argv)
                           m.ctrl.readLatency.percentile(0.99), 0)});
         }
         t.print(std::cout);
+        if (cfg.verifyOracle) {
+            std::cout << "\noracle: " << oracle_mismatches
+                      << " mismatch(es) across " << workloads.size()
+                      << " workloads\n";
+            if (oracle_mismatches > 0)
+                return 1;
+        }
         return 0;
     }
 
@@ -204,7 +235,10 @@ main(int argc, char** argv)
     }
 
     std::cout << "scheme " << scheme.name << ", workload " << spec.name
-              << ", " << cfg.cores << " cores x " << refs << " refs\n\n";
+              << ", " << cfg.cores << " cores x " << refs << " refs";
+    if (cfg.faults.any())
+        std::cout << ", inject " << cfg.faults.describe();
+    std::cout << "\n\n";
     const RunMetrics m = runOne(scheme, spec, cfg);
     m.toSnapshot().dump(std::cout);
 
@@ -280,6 +314,18 @@ main(int argc, char** argv)
         report.addRun(m);
         report.writeFile(report_path);
         std::cout << "report written to " << report_path << "\n";
+    }
+    if (m.oracle.enabled) {
+        std::cout << "\noracle: " << m.oracle.mismatches
+                  << " mismatch(es); checked " << m.oracle.readsChecked
+                  << " reads, " << m.oracle.commitsChecked
+                  << " commits, " << m.oracle.finalLinesChecked
+                  << " final lines\n";
+        if (m.oracle.mismatches > 0) {
+            std::cout << "(re-run with --trace=FILE for per-mismatch "
+                         "oracle_mismatch instants)\n";
+            return 1;
+        }
     }
     return 0;
 }

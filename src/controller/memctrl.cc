@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "verify/oracle.hh"
 
 namespace sdpcm {
 
@@ -127,6 +128,8 @@ MemoryController::submitRead(PhysAddr addr, unsigned core_id,
         if (it->la == la) {
             stats_.readsForwarded += 1;
             const LineData data = it->payload;
+            if (oracle_)
+                oracle_->noteForwardedRead(la, data);
             events_.scheduleAfter(0, [cb = std::move(on_complete),
                                       data] { cb(data); });
             return;
@@ -135,6 +138,8 @@ MemoryController::submitRead(PhysAddr addr, unsigned core_id,
     if (b.active && b.active->w.la == la) {
         stats_.readsForwarded += 1;
         const LineData data = b.active->w.payload;
+        if (oracle_)
+            oracle_->noteForwardedRead(la, data);
         events_.scheduleAfter(0, [cb = std::move(on_complete),
                                   data] { cb(data); });
         return;
@@ -202,13 +207,37 @@ MemoryController::submitWriteData(PhysAddr addr, const NmRatio& tag,
     const LineAddr la = device_.addressMap().decode(addr);
     Bank& b = banks_[la.bank];
 
-    // Coalesce into an already-queued write to the same line.
-    for (auto& entry : b.writeQueue) {
-        if (entry.la == la) {
-            entry.payload = payload;
-            stats_.writesCoalesced += 1;
-            return true;
+    // Coalesce into an already-queued write to the same line. Scan
+    // backward: write cancellation can leave two entries for one line
+    // (the cancelled write re-queued at the front plus a later-accepted
+    // one), and only the back entry commits last — merging new data into
+    // an earlier entry would let the final array state revert to the
+    // older payload when the back entry commits over it.
+    for (std::size_t idx = b.writeQueue.size(); idx-- > 0;) {
+        QueuedWrite& entry = b.writeQueue[idx];
+        if (!(entry.la == la))
+            continue;
+        entry.payload = payload;
+        stats_.writesCoalesced += 1;
+        // Entries behind the coalesce target may have forwarded its old
+        // payload into their pre-read buffers; refresh them so VnC does
+        // not verify against data that will never be in the array.
+        for (std::size_t k = idx + 1; k < b.writeQueue.size(); ++k) {
+            QueuedWrite& later = b.writeQueue[k];
+            if (later.needUpper && later.prUpper &&
+                later.upperAddr == la) {
+                later.upperData = payload;
+                stats_.preReadsRefreshed += 1;
+            }
+            if (later.needLower && later.prLower &&
+                later.lowerAddr == la) {
+                later.lowerData = payload;
+                stats_.preReadsRefreshed += 1;
+            }
         }
+        if (oracle_)
+            oracle_->noteWriteSubmitted(la, payload, /*new_entry=*/false);
+        return true;
     }
 
     if (b.writeQueue.size() >= scheme_.writeQueueEntries)
@@ -218,11 +247,14 @@ MemoryController::submitWriteData(PhysAddr addr, const NmRatio& tag,
     w.la = la;
     w.tag = tag;
     w.coreId = core_id;
+    w.id = nextWriteId_++;
     w.enqueueTick = events_.now();
     w.payload = payload;
     computeAdjacency(w);
     b.writeQueue.push_back(std::move(w));
     stats_.writesAccepted += 1;
+    if (oracle_)
+        oracle_->noteWriteSubmitted(la, payload, /*new_entry=*/true);
 
     if (b.writeQueue.size() >= scheme_.writeQueueEntries &&
         !b.draining) {
@@ -483,11 +515,37 @@ MemoryController::serviceRead(unsigned bank)
     PendingRead req = std::move(b.readQueue.front());
     b.readQueue.pop_front();
     occupy(bank, device_.config().timing.readCycles, OpKind::Read,
-           [this, req = std::move(req)] {
-               const LineData data = device_.readLine(req.la);
+           [this, bank, req = std::move(req)] {
+               // Re-validate forwarding at service time: a write to this
+               // line may have been accepted — or gone into service and
+               // be partially programmed — since the read queued (e.g. a
+               // cancellation's read grace fires mid-drain). The array
+               // would return torn or stale data; the pending payload is
+               // the line's architecturally current value.
+               Bank& bb = banks_[bank];
+               const LineData* fwd = nullptr;
+               for (auto it = bb.writeQueue.rbegin();
+                    it != bb.writeQueue.rend(); ++it) {
+                   if (it->la == req.la) {
+                       fwd = &it->payload;
+                       break;
+                   }
+               }
+               if (!fwd && bb.active && bb.active->w.la == req.la)
+                   fwd = &bb.active->w.payload;
+               if (fwd)
+                   stats_.readsForwardedAtService += 1;
+               const LineData data =
+                   fwd ? *fwd : device_.readLine(req.la);
                stats_.readsServiced += 1;
                stats_.readLatency.record(
                    static_cast<double>(events_.now() - req.enqueueTick));
+               if (oracle_) {
+                   if (fwd)
+                       oracle_->noteForwardedRead(req.la, data);
+                   else
+                       oracle_->noteArrayRead(req.la, data);
+               }
                req.onComplete(data);
            });
 }
@@ -496,6 +554,16 @@ void
 MemoryController::tryIssuePreRead(unsigned bank)
 {
     Bank& b = banks_[bank];
+    // A cancelled, partially-programmed write parked at the queue front
+    // has disturbed its bit-line neighbours without having verified them
+    // yet (that happens when it resumes). An array capture taken in this
+    // idle window would buffer the un-corrected flips and go stale the
+    // moment the resumed write's verify repairs them — so hold all
+    // captures until the aborted write retires. Payload forwarding would
+    // be safe, but the window is a few reads long; skipping it entirely
+    // keeps the rule simple.
+    if (!b.writeQueue.empty() && b.writeQueue.front().cancels > 0)
+        return;
     for (std::size_t i = 0; i < b.writeQueue.size(); ++i) {
         QueuedWrite& w = b.writeQueue[i];
 
@@ -505,7 +573,10 @@ MemoryController::tryIssuePreRead(unsigned bank)
                 return false;
             // Forward from an earlier pending write to the adjacent line
             // (it will have committed by the time this write services).
-            for (std::size_t j = 0; j < i; ++j) {
+            // Scan backward: with duplicate entries for one line (a
+            // cancellation artefact) the later one commits last, so only
+            // its payload is the value this write will find in the array.
+            for (std::size_t j = i; j-- > 0;) {
                 if (b.writeQueue[j].la == adj) {
                     buffer = b.writeQueue[j].payload;
                     pr_bit = true;
@@ -521,17 +592,18 @@ MemoryController::tryIssuePreRead(unsigned bank)
             }
             // Issue the pre-read against the array.
             const LineAddr target = adj;
-            const Tick id = w.enqueueTick;
-            const LineAddr wla = w.la;
+            const std::uint64_t id = w.id;
             occupy(bank, device_.config().timing.readCycles,
                    OpKind::PreRead,
-                   [this, bank, target, id, wla, is_upper] {
+                   [this, bank, target, id, is_upper] {
                        const LineData data = device_.readLine(target);
                        stats_.preReadsIssued += 1;
-                       // Re-locate the entry; it may have moved.
+                       if (oracle_)
+                           oracle_->notePreReadCapture(target, data);
+                       // Re-locate the entry by id; it may have moved (or
+                       // gained a same-line twin via cancellation).
                        for (auto& entry : banks_[bank].writeQueue) {
-                           if (entry.la == wla &&
-                               entry.enqueueTick == id) {
+                           if (entry.id == id) {
                                if (is_upper) {
                                    entry.upperData = data;
                                    entry.prUpper = true;
@@ -580,15 +652,22 @@ MemoryController::cancelActive(unsigned bank)
     Bank& b = banks_[bank];
     SDPCM_ASSERT(b.active, "cancel without active write");
     QueuedWrite w = std::move(b.active->w);
-    if (b.active->planned)
+    if (b.active->planned) {
+        // Rounds already applied keep their programming effects.
+        // Bit-line damage is covered by the kept pre-read buffers +
+        // verify on the next attempt, and same-line damage by the
+        // re-plan diff — but in-row (word-line) hits on ADJACENT lines
+        // are repaired only by the commit path, and the re-plan clears
+        // the hit list. Repair them NOW: until this entry recommits the
+        // bank is read-idle, so a demand read or pre-read capture of
+        // those neighbours would otherwise observe (and buffer) the
+        // aborted attempt's damage.
+        device_.repairWlHits(b.active->plan);
         b.planPool = std::move(b.active->plan);
+    }
     b.active.reset();
     w.cancels += 1;
     stats_.writeCancellations += 1;
-    // Rounds already applied keep their effects (and their disturbance);
-    // re-planning on the next service programs the remainder, and the
-    // kept pre-read buffers still hold the pre-disturbance values, so
-    // verification catches everything the aborted attempts disturbed.
     b.writeQueue.push_front(std::move(w));
 }
 
@@ -602,6 +681,8 @@ MemoryController::completeWrite(unsigned bank)
         static_cast<double>(events_.now() - b.active->serviceStart));
     stats_.cascadeDepth.record(
         static_cast<double>(b.active->maxDepthSeen));
+    if (oracle_)
+        oracle_->noteServiceEnd(b.active->w.id);
     if (b.active->planned)
         b.planPool = std::move(b.active->plan);
     b.active.reset();
@@ -613,10 +694,14 @@ MemoryController::refreshBuffersAfterWrite(unsigned bank,
                                            const LineData& data)
 {
     for (auto& entry : banks_[bank].writeQueue) {
-        if (entry.needUpper && entry.prUpper && entry.upperAddr == la)
+        if (entry.needUpper && entry.prUpper && entry.upperAddr == la) {
             entry.upperData = data;
-        if (entry.needLower && entry.prLower && entry.lowerAddr == la)
+            stats_.preReadsRefreshed += 1;
+        }
+        if (entry.needLower && entry.prLower && entry.lowerAddr == la) {
             entry.lowerData = data;
+            stats_.preReadsRefreshed += 1;
+        }
     }
 }
 
@@ -656,6 +741,8 @@ MemoryController::handleVerifyErrors(unsigned bank, const LineAddr& addr,
 
     if (depth > kMaxCascadeDepth) {
         stats_.cascadeDropped += 1;
+        if (oracle_)
+            oracle_->noteUncorrectedDrop(addr);
         SDPCM_WARN("cascade depth cap hit at bank ", bank,
                    " row ", addr.row);
         return;
@@ -726,6 +813,8 @@ MemoryController::advanceWrite(unsigned bank)
                 a.plan = std::move(b.planPool);
                 device_.planWriteInto(a.plan, a.w.la, a.w.payload);
                 a.planned = true;
+                if (oracle_)
+                    oracle_->noteRoundsStart(a.w.id, a.w.la);
             }
             const auto peek = device_.peekNextRound(a.plan);
             if (peek.valid) {
@@ -741,6 +830,8 @@ MemoryController::advanceWrite(unsigned bank)
             }
             device_.finishWrite(a.plan);
             refreshBuffersAfterWrite(bank, a.w.la, a.w.payload);
+            if (oracle_)
+                oracle_->noteWriteCommitted(a.w.la, a.w.payload);
             a.stage = ActiveWrite::Stage::VerUpper;
             break;
           }
@@ -756,6 +847,10 @@ MemoryController::advanceWrite(unsigned bank)
                 const LineData post = device_.readLine(aw.w.upperAddr);
                 stats_.verifyReads += 1;
                 aw.stage = ActiveWrite::Stage::VerLower;
+                if (oracle_) {
+                    oracle_->noteVerifyBuffer(aw.w.upperAddr,
+                                              aw.w.upperData, aw.w.id);
+                }
                 diffPositionsInto(post, aw.w.upperData, diffScratch_);
                 handleVerifyErrors(bank, aw.w.upperAddr, diffScratch_,
                                    1);
@@ -774,6 +869,10 @@ MemoryController::advanceWrite(unsigned bank)
                 const LineData post = device_.readLine(aw.w.lowerAddr);
                 stats_.verifyReads += 1;
                 aw.stage = ActiveWrite::Stage::Corrections;
+                if (oracle_) {
+                    oracle_->noteVerifyBuffer(aw.w.lowerAddr,
+                                              aw.w.lowerData, aw.w.id);
+                }
                 diffPositionsInto(post, aw.w.lowerData, diffScratch_);
                 handleVerifyErrors(bank, aw.w.lowerAddr, diffScratch_,
                                    1);
@@ -878,6 +977,10 @@ MemoryController::advanceCorrection(unsigned bank)
                                            c.task.cells);
                 c.planned = true;
                 stats_.correctionWrites += 1;
+                // Correction rounds RESET cells too: their neighbourhood
+                // becomes transiently dirty under the same writer.
+                if (oracle_)
+                    oracle_->noteRoundsStart(a.w.id, c.task.addr);
             }
             const auto peek = device_.peekNextRound(c.plan);
             if (peek.valid) {

@@ -46,11 +46,17 @@
 
 namespace sdpcm {
 
+class ShadowOracle;
+
 /** Controller statistics. */
 struct CtrlStats
 {
     std::uint64_t readsServiced = 0;
     std::uint64_t readsForwarded = 0;
+    /** Reads whose forwarding was (re)established at service time: a
+     *  write to the line arrived or went into service after the read
+     *  queued, so the array would have returned torn or stale data. */
+    std::uint64_t readsForwardedAtService = 0;
     std::uint64_t writesAccepted = 0;
     std::uint64_t writesCoalesced = 0;
     std::uint64_t writesCompleted = 0;
@@ -59,6 +65,9 @@ struct CtrlStats
     std::uint64_t preReadsIssued = 0;
     std::uint64_t preReadsForwarded = 0;
     std::uint64_t preReadsUseful = 0; //!< pre-reads that skipped a VnC read
+    /** Buffered pre-read copies refreshed because the adjacent line's
+     *  queued payload changed (coalesce) or committed. */
+    std::uint64_t preReadsRefreshed = 0;
 
     std::uint64_t verifyReads = 0;
     std::uint64_t adjacentsSkippedNm = 0;
@@ -100,6 +109,13 @@ class MemoryController
      * With no sink attached the emission sites are single null checks.
      */
     void setTraceSink(TraceSink* sink) { trace_ = sink; }
+
+    /**
+     * Attach the shadow-memory integrity oracle (null detaches). Every
+     * submit/commit/read/verify event is mirrored into it; detached, the
+     * emission sites are single null checks.
+     */
+    void setOracle(ShadowOracle* oracle) { oracle_ = oracle; }
 
     // --- Observability accessors (epoch sampling / diagnostics). ---
     unsigned
@@ -155,6 +171,10 @@ class MemoryController
         LineAddr la;
         NmRatio tag;
         unsigned coreId = 0;
+        /** Monotonic controller-wide id: the only safe way to re-locate
+         *  an entry from a deferred completion (two same-tick writes to
+         *  one line are otherwise indistinguishable). */
+        std::uint64_t id = 0;
         Tick enqueueTick = 0;
         LineData payload;
         // Adjacency derived from tag + geometry at enqueue time.
@@ -293,6 +313,8 @@ class MemoryController
      *  one vector makes the verify path allocation-free. */
     std::vector<unsigned> diffScratch_;
     TraceSink* trace_ = nullptr;
+    ShadowOracle* oracle_ = nullptr;
+    std::uint64_t nextWriteId_ = 1;
     std::vector<Bank> banks_;
     mutable std::map<std::uint64_t, NmPolicy> policies_;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "verify/faultinject.hh"
 
 namespace sdpcm {
 
@@ -95,10 +96,30 @@ PcmDevice::state(const LineAddr& addr)
             if (!ls.ecp.recordHard(pos, stuck))
                 stats_.ecpSaturatedLines += 1;
         }
-        if (config_.lineCounters) {
-            ls.counters.ecpHighWater = static_cast<std::uint32_t>(
-                ls.ecp.entries().size());
+    }
+
+    // Fault-injected stuck cells stack on top of the aging population.
+    // They come from the injector's per-line stateless stream, so the
+    // device RNG sequence (and hence every natural-fault draw) is
+    // identical with and without injection.
+    if (inject_) {
+        injectScratch_.clear();
+        inject_->stuckCellsFor(addr.bank, key, injectScratch_);
+        for (const unsigned pos : injectScratch_) {
+            if (isHardCell(ls, pos))
+                continue;
+            const bool stuck = ls.physical.getBit(pos);
+            ls.hardCells.emplace_back(static_cast<std::uint16_t>(pos),
+                                      stuck);
+            stats_.injectedStuckCells += 1;
+            if (!ls.ecp.recordHard(pos, stuck))
+                stats_.ecpSaturatedLines += 1;
         }
+    }
+
+    if (config_.lineCounters) {
+        ls.counters.ecpHighWater = static_cast<std::uint32_t>(
+            ls.ecp.entries().size());
     }
 
     auto [ins, ok] = bank.emplace(key, std::move(ls));
@@ -312,8 +333,13 @@ PcmDevice::injectDisturbance(const LineAddr& addr, unsigned pos,
             LineState& ns = state(n_addr);
             if (ns.physical.getBit(n_pos) || isHardCell(ns, n_pos))
                 return;
-            if (!rng_.chance(wl_rate))
+            // The natural draw always runs first so the device RNG stream
+            // is injection-independent; the injector may then force the
+            // flip through the same vulnerability filter.
+            if (!rng_.chance(wl_rate) &&
+                !(inject_ && inject_->forceWdFlip())) {
                 return;
+            }
             ns.physical.setBit(n_pos, true);
             outcome.wlErrors += 1;
             stats_.wlDisturbances += 1;
@@ -346,8 +372,12 @@ PcmDevice::injectDisturbance(const LineAddr& addr, unsigned pos,
         auto probe_bl = [&](const LineAddr& n_addr, bool upper) {
             // Draw first: materialising the neighbour is only needed when
             // the thermal draw succeeds (the flip applies iff vulnerable).
-            if (!rng_.chance(config_.rates.bitLine))
+            // As on the word line, the natural draw precedes any forced
+            // flip so the device RNG stream is injection-independent.
+            if (!rng_.chance(config_.rates.bitLine) &&
+                !(inject_ && inject_->forceWdFlip())) {
                 return;
+            }
             LineState& ns = state(n_addr);
             if (ns.physical.getBit(pos) || isHardCell(ns, pos))
                 return;
@@ -421,16 +451,13 @@ PcmDevice::applyNextRound(WritePlan& plan, RoundOutcome& outcome)
     return true;
 }
 
-PcmDevice::FinishOutcome
-PcmDevice::finishWrite(WritePlan& plan)
+unsigned
+PcmDevice::repairWlHits(WritePlan& plan)
 {
-    SDPCM_ASSERT(!plan.roundsRemaining(),
-                 "finishWrite with rounds still pending");
-    FinishOutcome out;
-
-    // DIN check-and-rewrite: the disturbances this write caused within its
+    // DIN check-and-rewrite: the disturbances a write causes within its
     // own device row are repaired as part of the write operation (the
     // disturbed cells were idle '0' cells, so the repair is a RESET).
+    unsigned fixed = 0;
     for (const unsigned key : plan.wlHits) {
         const unsigned line = key >> 9;
         const unsigned pos = key & 511;
@@ -438,13 +465,23 @@ PcmDevice::finishWrite(WritePlan& plan)
         LineState& fs = state(fix_addr);
         if (fs.physical.getBit(pos)) {
             fs.physical.setBit(pos, false);
-            out.wlErrorsFixed += 1;
+            fixed += 1;
             stats_.dataCellWrites += 1;
             stats_.correctionCellWrites += 1;
             if (config_.lineCounters)
                 fs.counters.wdCorrected += 1;
         }
     }
+    return fixed;
+}
+
+PcmDevice::FinishOutcome
+PcmDevice::finishWrite(WritePlan& plan)
+{
+    SDPCM_ASSERT(!plan.roundsRemaining(),
+                 "finishWrite with rounds still pending");
+    FinishOutcome out;
+    out.wlErrorsFixed = repairWlHits(plan);
 
     // Fetch after the loop above: state() lookups never insert here (the
     // fixed lines were materialised when disturbed), but re-fetching keeps
@@ -558,6 +595,26 @@ unsigned
 PcmDevice::ecpFree(const LineAddr& addr)
 {
     return state(addr).ecp.freeEntries();
+}
+
+LineData
+PcmDevice::uncorrectableMask(const LineAddr& addr)
+{
+    LineData mask;
+    LineState& ls = state(addr);
+    for (const auto& [cell, stuck] : ls.hardCells) {
+        (void)stuck;
+        bool covered = false;
+        for (const auto& e : ls.ecp.entries()) {
+            if (e.hard && e.cell == cell) {
+                covered = true;
+                break;
+            }
+        }
+        if (!covered)
+            mask.setBit(cell, true);
+    }
+    return mask;
 }
 
 std::vector<unsigned>

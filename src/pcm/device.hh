@@ -37,6 +37,8 @@
 
 namespace sdpcm {
 
+class FaultInjector;
+
 /** Per-direction disturbance probabilities (per RESET, vulnerable cell). */
 struct WdRates
 {
@@ -121,6 +123,7 @@ struct DeviceStats
     std::uint64_t ecpWdReleased = 0;  //!< WD entries cleared by writes
     std::uint64_t hardErrors = 0;     //!< stuck-at cells materialised
     std::uint64_t ecpSaturatedLines = 0; //!< hard errors exceeding ECP-N
+    std::uint64_t injectedStuckCells = 0; //!< fault-injected stuck cells
 
     /** Figure 4(a): WD errors within the written word-line, per write. */
     RunningStat wlErrorsPerWrite;
@@ -146,6 +149,22 @@ class PcmDevice
     }
     DeviceStats& stats() { return stats_; }
     const DeviceStats& stats() const { return stats_; }
+
+    /**
+     * Attach a deterministic fault source (see verify/faultinject.hh).
+     * Injected stuck cells apply to lines materialised after this call, so
+     * attach before the first access; WD boosts apply immediately. The
+     * injector draws from its own RNG stream — the device's sequence is
+     * identical with and without one attached.
+     */
+    void setFaultInjector(FaultInjector* inject) { inject_ = inject; }
+
+    /**
+     * Logical-space mask of cells whose intended value the line cannot
+     * represent: stuck-at cells beyond ECP capacity. The integrity oracle
+     * excludes these positions from content comparisons.
+     */
+    LineData uncorrectableMask(const LineAddr& addr);
 
     /** Logical read: raw cells + ECP overlay + DIN decode. */
     LineData readLine(const LineAddr& addr);
@@ -264,6 +283,20 @@ class PcmDevice
     FinishOutcome finishWrite(WritePlan& plan);
 
     /**
+     * Repair the in-row (word-line) disturbances recorded in the plan's
+     * hit list (idempotent: each repair is a getBit-guarded RESET; the
+     * list itself is left intact for stats and is cleared by the next
+     * re-plan). finishWrite does this implicitly; an aborted (cancelled)
+     * write must call it explicitly before releasing the bank, or the
+     * damage on ADJACENT lines leaks: re-planning clears the hit list
+     * and the re-plan diff only re-covers the written line itself —
+     * and until the entry recommits, idle-window reads and pre-read
+     * captures would observe the torn neighbours.
+     * @return the number of cells actually repaired.
+     */
+    unsigned repairWlHits(WritePlan& plan);
+
+    /**
      * Compare the line's current logical content against `expected` and
      * return the positions that differ (the disturbed cells).
      */
@@ -342,6 +375,10 @@ class PcmDevice
     Rng rng_;
     DeviceStats stats_;
     double hardErrorMean_;
+    FaultInjector* inject_ = nullptr;
+
+    /** Injected stuck-cell scratch for state() (reused per line). */
+    std::vector<unsigned> injectScratch_;
 
     /** RESET-cell scratch for applyNextRound (reused across rounds). */
     std::vector<unsigned> resetScratch_;

@@ -48,6 +48,10 @@ struct RunnerConfig
     Tick epochTicks = 0;
     /** Track per-line wear/WD counters (RunMetrics::lines, heatmaps). */
     bool lineCounters = false;
+
+    // Verification passthrough (see SystemConfig).
+    bool verifyOracle = false;
+    FaultSpec faults;
 };
 
 /** Run one (scheme, workload) pair and return its metrics. */

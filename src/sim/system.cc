@@ -1,5 +1,7 @@
 #include "sim/system.hh"
 
+#include <iostream>
+
 #include "workload/generators.hh"
 
 namespace sdpcm {
@@ -9,6 +11,15 @@ workloadFromProfile(const std::string& profile_name)
 {
     WorkloadSpec spec;
     spec.name = profile_name;
+    if (profile_name == "qstress") {
+        // Adversarial queue-stress workload (not in Table 3): built for
+        // the integrity oracle, see QueueStressGenerator.
+        spec.makeStream = [](unsigned core, std::uint64_t seed) {
+            return std::make_unique<QueueStressGenerator>(
+                seed ^ (0x5712e55ULL * (core + 1)));
+        };
+        return spec;
+    }
     // Resolve the profile once here rather than in every makeStream call
     // (the matrix harness builds cores x runs streams); unknown names
     // fail fast at spec construction instead of mid-run.
@@ -69,6 +80,11 @@ System::System(const SystemConfig& config, const WorkloadSpec& workload)
     dc.lineCounters = config_.lineCounters;
     device_ = std::make_unique<PcmDevice>(dc);
 
+    if (config_.faults.any()) {
+        faultInjector_ = std::make_unique<FaultInjector>(config_.faults);
+        device_->setFaultInjector(faultInjector_.get());
+    }
+
     ctrl_ = std::make_unique<MemoryController>(events_, *device_,
                                                config_.scheme,
                                                config_.seed);
@@ -83,6 +99,11 @@ System::System(const SystemConfig& config, const WorkloadSpec& workload)
     if (config_.epochTicks > 0) {
         epochSampler_ = std::make_unique<EpochSampler>(
             events_, *ctrl_, config_.epochTicks, traceSink_.get());
+    }
+    if (config_.verifyOracle) {
+        oracle_ = std::make_unique<ShadowOracle>(events_, *device_);
+        oracle_->setTraceSink(traceSink_.get());
+        ctrl_->setOracle(oracle_.get());
     }
 
     for (unsigned c = 0; c < config_.cores; ++c) {
@@ -106,6 +127,13 @@ System::run()
     events_.run(config_.maxTicks);
     if (epochSampler_)
         epochSampler_->finalize();
+    // Final drain-state audit before the trace closes, so mismatch
+    // instants still land in the trace file.
+    if (oracle_) {
+        oracle_->finalCheck();
+        if (!oracle_->clean())
+            oracle_->report(std::cerr);
+    }
     if (traceSink_)
         traceSink_->close();
 
@@ -166,6 +194,8 @@ RunMetrics::toSnapshot() const
     s.set("ctrl.readsServiced", static_cast<double>(ctrl.readsServiced));
     s.set("ctrl.readsForwarded",
           static_cast<double>(ctrl.readsForwarded));
+    s.set("ctrl.readsForwardedAtService",
+          static_cast<double>(ctrl.readsForwardedAtService));
     s.set("ctrl.writesAccepted",
           static_cast<double>(ctrl.writesAccepted));
     s.set("ctrl.writesCoalesced",
@@ -179,6 +209,8 @@ RunMetrics::toSnapshot() const
           static_cast<double>(ctrl.preReadsForwarded));
     s.set("ctrl.preReadsUseful",
           static_cast<double>(ctrl.preReadsUseful));
+    s.set("ctrl.preReadsRefreshed",
+          static_cast<double>(ctrl.preReadsRefreshed));
     s.set("ctrl.verifyReads", static_cast<double>(ctrl.verifyReads));
     s.set("ctrl.adjacentsSkippedNm",
           static_cast<double>(ctrl.adjacentsSkippedNm));
@@ -213,7 +245,36 @@ RunMetrics::toSnapshot() const
     s.set("ctrl.cycles.correction",
           static_cast<double>(ctrl.cyclesCorrection));
     s.set("ctrl.cycles.ecp", static_cast<double>(ctrl.cyclesEcp));
+    s.set("device.injectedStuckCells",
+          static_cast<double>(device.injectedStuckCells));
     s.set("derived.correctionsPerWrite", correctionsPerWrite());
+
+    if (oracle.enabled) {
+        s.set("oracle.mismatches",
+              static_cast<double>(oracle.mismatches));
+        s.set("oracle.readsChecked",
+              static_cast<double>(oracle.readsChecked));
+        s.set("oracle.forwardsChecked",
+              static_cast<double>(oracle.forwardsChecked));
+        s.set("oracle.preReadsChecked",
+              static_cast<double>(oracle.preReadsChecked));
+        s.set("oracle.buffersChecked",
+              static_cast<double>(oracle.buffersChecked));
+        s.set("oracle.commitsChecked",
+              static_cast<double>(oracle.commitsChecked));
+        s.set("oracle.finalLinesChecked",
+              static_cast<double>(oracle.finalLinesChecked));
+        s.set("oracle.skippedDirty",
+              static_cast<double>(oracle.skippedDirty));
+        s.set("oracle.skippedTainted",
+              static_cast<double>(oracle.skippedTainted));
+        s.set("oracle.finalSkippedPending",
+              static_cast<double>(oracle.finalSkippedPending));
+        s.set("oracle.finalSkippedDirty",
+              static_cast<double>(oracle.finalSkippedDirty));
+        s.set("oracle.maskedUncorrectable",
+              static_cast<double>(oracle.maskedUncorrectable));
+    }
 
     if (epochs.enabled()) {
         s.set("epoch.ticks", static_cast<double>(epochs.epochTicks));
@@ -248,6 +309,8 @@ System::metrics() const
         m.epochs = epochSampler_->series();
     if (config_.lineCounters)
         m.lines = device_->lineCounterSamples();
+    if (oracle_)
+        m.oracle = oracle_->summary();
     return m;
 }
 

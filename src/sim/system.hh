@@ -21,6 +21,8 @@
 #include "pcm/device.hh"
 #include "sim/event_queue.hh"
 #include "thermal/wd_model.hh"
+#include "verify/faultinject.hh"
+#include "verify/oracle.hh"
 #include "workload/trace.hh"
 
 namespace sdpcm {
@@ -62,6 +64,12 @@ struct SystemConfig
     Tick epochTicks = 0;
     /** Track per-line wear/WD counters for spatial heatmaps. */
     bool lineCounters = false;
+
+    // --- Verification (both default off: zero-overhead fast path). ---
+    /** Shadow-memory integrity oracle (see verify/oracle.hh). */
+    bool verifyOracle = false;
+    /** Deterministic fault injection (see verify/faultinject.hh). */
+    FaultSpec faults;
 };
 
 /** Extracted results of one run. */
@@ -77,6 +85,8 @@ struct RunMetrics
     EpochSeries epochs; //!< empty unless SystemConfig::epochTicks > 0
     /** Sorted per-line counters; empty unless lineCounters was on. */
     std::vector<LineCounterSample> lines;
+    /** Oracle counters; `enabled` false unless verifyOracle was on. */
+    OracleSummary oracle;
 
     /** Correction writes per completed data write (Figure 12). */
     double
@@ -116,6 +126,8 @@ class System
     EventQueue& events() { return events_; }
     /** The attached trace sink, or null when tracing is off. */
     TraceSink* traceSink() { return traceSink_.get(); }
+    /** The integrity oracle, or null when --verify-oracle is off. */
+    ShadowOracle* oracle() { return oracle_.get(); }
     const WdModel& wdModel() const { return wdModel_; }
     const std::vector<std::unique_ptr<TraceCore>>& cores() const
     {
@@ -135,6 +147,8 @@ class System
     std::unique_ptr<MemoryController> ctrl_;
     std::unique_ptr<ChromeTraceSink> traceSink_;
     std::unique_ptr<EpochSampler> epochSampler_;
+    std::unique_ptr<FaultInjector> faultInjector_;
+    std::unique_ptr<ShadowOracle> oracle_;
     std::unique_ptr<PageAllocatorSystem> allocator_;
     std::vector<std::unique_ptr<Mmu>> mmus_;
     std::vector<std::unique_ptr<TraceStream>> streams_;

@@ -88,6 +88,56 @@ SyntheticTraceGenerator::next(TraceRecord& record)
     return true;
 }
 
+QueueStressGenerator::QueueStressGenerator(std::uint64_t seed)
+    : rng_(seed)
+{}
+
+bool
+QueueStressGenerator::next(TraceRecord& record)
+{
+    // 8 page pairs: pages 0..7 plus 16..23. With frames interleaved
+    // across 16 banks and a near-linear first-touch allocation, page v
+    // and page v+16 occupy adjacent rows of one bank, so queued writes
+    // to one half are the other half's VnC adjacents — every PreRead
+    // capture, forward and refresh path races against pending writes.
+    constexpr std::uint64_t kPageBytes = 4096;
+    constexpr std::uint64_t kPairs = 8;
+    constexpr std::uint64_t kHotLinesPerPage = 4;
+
+    // The hot set alone fits inside the write queues: every write would
+    // coalesce and nothing would ever be serviced. A churn stream of
+    // sequential cold writes (distinct lines, never reused soon) keeps
+    // the queues at their drain watermark so the hot writes are forced
+    // through the full PreRead / verify / cancel machinery while new
+    // hot writes keep landing on them.
+    if (rng_.chance(0.3)) {
+        constexpr std::uint64_t kChurnBasePage = 64;
+        constexpr std::uint64_t kChurnPages = 512;
+        constexpr std::uint64_t kLinesPerPage = kPageBytes / kLineBytes;
+        const std::uint64_t line = churn_ % kLinesPerPage;
+        const std::uint64_t page =
+            kChurnBasePage + (churn_ / kLinesPerPage) % kChurnPages;
+        churn_ += 1;
+        record.vaddr = page * kPageBytes + line * kLineBytes;
+        record.isWrite = true;
+        record.gap = 0;
+        record.flipDensity = 0.15 + 0.15 * rng_.uniform();
+        return true;
+    }
+
+    const std::uint64_t pair = rng_.below(kPairs);
+    const std::uint64_t page = pair + (rng_.below(2) ? 16 : 0);
+    const std::uint64_t line = rng_.below(kHotLinesPerPage);
+    record.vaddr = page * kPageBytes + line * kLineBytes;
+    record.isWrite = rng_.chance(0.7);
+    // Near-zero gaps keep the queues saturated; dense flips maximise
+    // RESET pulses and thus disturbance pressure.
+    record.gap = static_cast<std::uint32_t>(rng_.below(3));
+    record.flipDensity = record.isWrite ? 0.15 + 0.15 * rng_.uniform()
+                                        : 0.0;
+    return true;
+}
+
 StreamTraceGenerator::StreamTraceGenerator(std::uint64_t array_bytes,
                                            double apki, std::uint64_t seed)
     : arrayLines_(array_bytes / kLineBytes),

@@ -72,6 +72,28 @@ class SyntheticTraceGenerator : public TraceStream
 };
 
 /**
+ * Adversarial queue-stress generator ("qstress"): hammers a tiny hot set
+ * of lines laid out as bit-line-adjacent page pairs (virtual pages v and
+ * v+16, which land on the same bank in adjacent device rows under the
+ * frame-interleaved mapping) with a write-heavy, almost gap-free mix.
+ * Per-bank write queues stay full, so drains, coalesces, duplicate
+ * entries from write cancellation, PreRead forwarding and buffer
+ * refreshes all fire constantly — the maximum-race diet for the
+ * integrity oracle. Not a Table 3 workload; use with `--verify-oracle`.
+ */
+class QueueStressGenerator : public TraceStream
+{
+  public:
+    explicit QueueStressGenerator(std::uint64_t seed);
+
+    bool next(TraceRecord& record) override;
+
+  private:
+    Rng rng_;
+    std::uint64_t churn_ = 0; //!< sequential cold-line cursor
+};
+
+/**
  * Structural STREAM generator: copy, scale, add and triad sweep three
  * arrays; every 64B line of a source is read and of a destination written
  * once per pass (the caches filter everything else), with instruction

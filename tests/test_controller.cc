@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <iostream>
+
 #include "controller/memctrl.hh"
 #include "sim/event_queue.hh"
+#include "verify/oracle.hh"
 
 namespace sdpcm {
 namespace {
@@ -362,6 +365,161 @@ TEST(Controller, TortureManyWritesStayFunctionallyCorrect)
         }
     }
     EXPECT_TRUE(h.ctrl->quiescent());
+}
+
+// ---------------------------------------------------------------------
+// Regressions for the bugs the shadow-memory oracle surfaced
+// ---------------------------------------------------------------------
+
+TEST(Controller, CoalesceAfterCancellationKeepsNewestWrite)
+{
+    // Write cancellation can leave TWO queue entries for one line: the
+    // cancelled write re-queued at the front plus a later-accepted one.
+    // A subsequent coalesce must merge into the entry that commits LAST
+    // (the back one) — merging into the front entry lets the final array
+    // state revert to the middle payload.
+    SchemeConfig wc = eagerScheme(SchemeConfig::baselineVnc());
+    wc.writeCancellation = true;
+    Harness h(wc, WdRates{0.0, 0.0});
+    const unsigned bank = 2;
+    const PhysAddr x = h.addrOf(bank, 50, 0);
+    const LineData p1 = LineData::randomFromKey(1);
+    const LineData p2 = LineData::randomFromKey(2);
+    const LineData p3 = LineData::randomFromKey(3);
+
+    ASSERT_TRUE(h.ctrl->submitWriteData(x, NmRatio{1, 1}, 0, p1));
+    // Let the write go active and start its first (cancellable) op.
+    while (!h.events.empty() && h.events.now() < 100)
+        h.events.runNext();
+    // Second write to the same line: the first is active, so this
+    // becomes a separate queue entry.
+    ASSERT_TRUE(h.ctrl->submitWriteData(x, NmRatio{1, 1}, 0, p2));
+    // A read to the same bank cancels the active write, re-queueing it
+    // at the FRONT — now two entries for line x exist.
+    h.ctrl->submitRead(h.addrOf(bank, 500, 0), 0, [](const LineData&) {});
+    ASSERT_GE(h.ctrl->stats().writeCancellations, 1u);
+    // Third write: must coalesce into the BACK (newest) entry.
+    ASSERT_TRUE(h.ctrl->submitWriteData(x, NmRatio{1, 1}, 0, p3));
+    EXPECT_GE(h.ctrl->stats().writesCoalesced, 1u);
+    h.drain();
+    EXPECT_EQ(h.device->peekLine(LineAddr{bank, 50, 0}), p3);
+}
+
+TEST(Controller, ReadObservesNewestDataAtServiceTime)
+{
+    // A read that found no same-line write at SUBMIT time can be passed
+    // by one accepted while the read waits for the bank. At service time
+    // the read must re-check the queue and forward the pending payload
+    // instead of returning the stale array content.
+    SchemeConfig scheme = eagerScheme(SchemeConfig::baselineVnc());
+    Harness h(scheme, WdRates{0.0, 0.0});
+    const unsigned bank = 4;
+    const PhysAddr x = h.addrOf(bank, 60, 1);
+    const LineData p = LineData::randomFromKey(42);
+
+    // Occupy the bank with an unrelated write.
+    ASSERT_TRUE(h.ctrl->submitWriteData(h.addrOf(bank, 200, 0),
+                                        NmRatio{1, 1}, 0,
+                                        LineData::randomFromKey(7)));
+    while (!h.events.empty() && h.events.now() < 100)
+        h.events.runNext();
+    // Read to x queues behind the busy bank; no write to x exists yet.
+    LineData observed;
+    bool read_done = false;
+    h.ctrl->submitRead(x, 0, [&](const LineData& d) {
+        observed = d;
+        read_done = true;
+    });
+    // Write to x is accepted while the read is still waiting.
+    ASSERT_TRUE(h.ctrl->submitWriteData(x, NmRatio{1, 1}, 0, p));
+    h.drain();
+    ASSERT_TRUE(read_done);
+    EXPECT_EQ(observed, p);
+    EXPECT_GE(h.ctrl->stats().readsForwardedAtService, 1u);
+}
+
+TEST(Controller, CoalesceRefreshesLaterPreReadBuffers)
+{
+    // A queued write whose pre-read buffer was filled (by capture or
+    // forwarding) for adjacent line A must see its buffer refreshed when
+    // a later submit coalesces new data into A's queue entry — otherwise
+    // it verifies against A's superseded content.
+    SchemeConfig scheme = SchemeConfig::lazyCPreRead();
+    Harness h(scheme, WdRates{0.0, 0.0});
+    ShadowOracle oracle(h.events, *h.device);
+    h.ctrl->setOracle(&oracle);
+    const unsigned bank = 6;
+    // B at row 71 has upper adjacent A at row 70 (same line index).
+    const PhysAddr a = h.addrOf(bank, 70, 0);
+    const PhysAddr b = h.addrOf(bank, 71, 0);
+    ASSERT_TRUE(h.ctrl->submitWriteData(a, NmRatio{1, 1}, 0,
+                                        LineData::randomFromKey(1)));
+    ASSERT_TRUE(h.ctrl->submitWriteData(b, NmRatio{1, 1}, 0,
+                                        LineData::randomFromKey(2)));
+    // Idle bank: pre-reads fire, B's upper buffer fills from A's pending
+    // payload (forwarding) or the array.
+    h.drain();
+    ASSERT_GT(h.ctrl->stats().preReadsForwarded +
+                  h.ctrl->stats().preReadsIssued,
+              0u);
+    // Coalesce new data into A's entry; B's buffer must be refreshed.
+    ASSERT_TRUE(h.ctrl->submitWriteData(a, NmRatio{1, 1}, 0,
+                                        LineData::randomFromKey(3)));
+    EXPECT_GE(h.ctrl->stats().writesCoalesced, 1u);
+    EXPECT_GE(h.ctrl->stats().preReadsRefreshed, 1u);
+    EXPECT_TRUE(oracle.clean());
+}
+
+TEST(Controller, CancellationStressStaysClean)
+{
+    // Torture the duplicate-entry / cancellation / pre-read-relocation
+    // machinery with the oracle attached: repeated same-line writes with
+    // cancelling reads must never commit stale data or verify against a
+    // stale buffer. (Covers the monotonic-id relocation: same-tick
+    // duplicate entries for one line are only distinguishable by id.)
+    SchemeConfig scheme = eagerScheme(SchemeConfig::lazyCPreRead());
+    scheme.writeCancellation = true;
+    Harness h(scheme, WdRates{0.099, 0.115});
+    ShadowOracle oracle(h.events, *h.device);
+    h.ctrl->setOracle(&oracle);
+    Rng rng(4242);
+    const unsigned bank = 9;
+    LineData last[4];
+    bool have_last[4] = {false, false, false, false};
+
+    for (int i = 0; i < 120; ++i) {
+        const unsigned line = static_cast<unsigned>(rng.below(4));
+        const std::uint64_t row = 80 + rng.below(2);
+        const LineData payload = LineData::randomFromKey(rng.next64());
+        if (h.ctrl->submitWriteData(h.addrOf(bank, row, line),
+                                    NmRatio{1, 1}, 0, payload)) {
+            if (row == 80) {
+                last[line] = payload;
+                have_last[line] = true;
+            }
+        }
+        // Interleave cancelling reads while ops are in flight.
+        if (rng.chance(0.5)) {
+            while (!h.events.empty() && rng.chance(0.6))
+                h.events.runNext();
+            h.ctrl->submitRead(h.addrOf(bank, 700 + rng.below(4), 0), 0,
+                               [](const LineData&) {});
+        }
+        if (i % 20 == 19)
+            h.drain();
+    }
+    h.drain();
+    EXPECT_GE(h.ctrl->stats().writeCancellations, 1u);
+    for (unsigned line = 0; line < 4; ++line) {
+        if (have_last[line]) {
+            EXPECT_EQ(h.device->readLine(LineAddr{bank, 80, line}),
+                      last[line]);
+        }
+    }
+    if (!oracle.clean()) {
+        oracle.report(std::cerr);
+        ADD_FAILURE() << "oracle reported mismatches";
+    }
 }
 
 } // namespace
