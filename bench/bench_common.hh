@@ -20,6 +20,12 @@
  *   --inject=SPEC  deterministic fault injection, e.g.
  *              --inject=stuck=0.5,ecp=2,wd=0.01,seed=3
  *              (verify/faultinject.hh).
+ *   --spans    per-request span attribution on every cell (obs/spans.hh);
+ *              span.* metrics land in the report.
+ *   --spans-folded=FILE  write the collapsed-stack blame of every cell
+ *              (flamegraph format; implies --spans).
+ *   --spans-top=N  print each scheme's top-N phases by critical cycles
+ *              to stderr (implies --spans).
  */
 
 #ifndef SDPCM_BENCH_COMMON_HH
@@ -27,12 +33,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/args.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "obs/report.hh"
 #include "sim/parallel.hh"
@@ -52,6 +60,8 @@ configFromArgs(int argc, char** argv, std::int64_t default_refs = 10000)
     cfg.cores = static_cast<unsigned>(args.getInt("cores", 8));
     cfg.jobs = static_cast<unsigned>(args.getInt("jobs", 0));
     cfg.verifyOracle = args.getBool("verify-oracle", false);
+    cfg.spans = args.getBool("spans", false) ||
+                args.has("spans-folded") || args.has("spans-top");
     if (args.has("inject"))
         cfg.faults = FaultSpec::parse(args.getString("inject", ""));
     return cfg;
@@ -162,6 +172,46 @@ maybeWriteReport(const ArgParser& args, const std::string& default_path,
     }
     report.writeFile(path);
     std::cout << "report written to " << path << "\n";
+}
+
+/**
+ * Span-attribution outputs for a finished matrix: collapsed stacks to
+ * --spans-folded=FILE (all cells, one file — flamegraph tooling sums
+ * identical frames) and a per-scheme top-N blame table on stderr for
+ * --spans-top=N. No-op when spans were off.
+ */
+inline void
+maybeWriteSpans(const ArgParser& args, const RunnerConfig& cfg,
+                const std::vector<SchemeResults>& results)
+{
+    if (!cfg.spans)
+        return;
+    const std::string folded_path = args.getString("spans-folded", "");
+    const unsigned top_n =
+        static_cast<unsigned>(args.getInt("spans-top", 0));
+    std::ofstream folded;
+    if (!folded_path.empty()) {
+        folded.open(folded_path);
+        SDPCM_ASSERT(folded.good(), "cannot open folded-stack file: ",
+                     folded_path);
+    }
+    for (const SchemeResults& scheme : results) {
+        SpanSummary merged;
+        for (const auto& [name, metrics] : scheme.byWorkload) {
+            (void)name;
+            merged.merge(metrics.spans);
+        }
+        if (folded.is_open())
+            writeFoldedStacks(folded, scheme.scheme, merged);
+        if (top_n > 0)
+            printSpanTop(std::cerr, scheme.scheme, merged, top_n);
+    }
+    if (folded.is_open()) {
+        folded.flush();
+        SDPCM_ASSERT(folded.good(), "error writing folded-stack file: ",
+                     folded_path);
+        std::cout << "folded stacks written to " << folded_path << "\n";
+    }
 }
 
 /** Workload-name column order: Table 3 order plus the aggregate. */

@@ -87,5 +87,6 @@ main(int argc, char** argv)
                  "LazyC+(2:3) < all-three <= DIN; (1:2) ~ DIN.\n";
     maybeWriteReport(args, "REPORT_fig11.json", "bench_fig11", cfg,
                      results);
+    maybeWriteSpans(args, cfg, results);
     return 0;
 }

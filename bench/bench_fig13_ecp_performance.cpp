@@ -53,5 +53,6 @@ main(int argc, char** argv)
                  "flat beyond)\n";
     maybeWriteReport(args, "REPORT_fig13.json", "bench_fig13", cfg,
                      results);
+    maybeWriteSpans(args, cfg, results);
     return 0;
 }

@@ -7,14 +7,22 @@
  * is tracked across PRs.
  *
  *   bench_wallclock [--refs=N] [--jobs=N] [--full] [--out=FILE]
+ *                   [--baseline=FILE]
  *
  * Default matrix: 3 schemes x 4 workloads (fast smoke at --refs=2000,
  * the quick-bench CMake target). --full runs the fig11 7-scheme matrix
  * over all 9 Table 3 workloads.
+ *
+ * A third serial pass runs with span attribution ON, guarding the
+ * recorder's two promises: every pre-existing metric stays bit-identical
+ * (spans observe, never perturb), and the spans-off path keeps its
+ * speed — pass --baseline=FILE (a previous BENCH_parallel.json) to fail
+ * the bench if spans-off serial wall-clock regressed more than 2%.
  */
 
 #include <chrono>
 #include <fstream>
+#include <sstream>
 
 #include "bench_common.hh"
 
@@ -55,6 +63,56 @@ identicalResults(const std::vector<SchemeResults>& a,
     return true;
 }
 
+/**
+ * Every metric of `base` must exist bit-identical in `super` (which may
+ * add metrics — the span.* family). Proves the recorder only observes:
+ * any simulation perturbation shows up as a changed counter.
+ */
+bool
+subsetIdentical(const std::vector<SchemeResults>& base,
+                const std::vector<SchemeResults>& super)
+{
+    if (base.size() != super.size())
+        return false;
+    bool ok = true;
+    for (std::size_t s = 0; s < base.size(); ++s) {
+        for (const auto& [name, metrics] : base[s].byWorkload) {
+            const auto it = super[s].byWorkload.find(name);
+            if (it == super[s].byWorkload.end())
+                return false;
+            const auto base_snap = metrics.toSnapshot();
+            const auto super_snap = it->second.toSnapshot();
+            const auto& sup = super_snap.values();
+            for (const auto& [metric, value] : base_snap.values()) {
+                const auto mv = sup.find(metric);
+                if (mv == sup.end() || mv->second != value) {
+                    SDPCM_WARN("spans-on run perturbed ",
+                               base[s].scheme, "/", name, "/", metric);
+                    ok = false;
+                }
+            }
+        }
+    }
+    return ok;
+}
+
+/** serial_seconds of a previous BENCH_parallel.json, or -1. */
+double
+baselineSerialSeconds(const std::string& path)
+{
+    std::ifstream is(path);
+    if (!is)
+        SDPCM_FATAL("cannot open baseline: ", path);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const JsonValue doc = parseJson(buf.str());
+    if (!doc.isObject() || !doc.has("serial_seconds") ||
+        doc.at("serial_seconds").type != JsonValue::Type::Number) {
+        SDPCM_FATAL("baseline ", path, " has no serial_seconds");
+    }
+    return doc.at("serial_seconds").number;
+}
+
 } // namespace
 
 int
@@ -65,6 +123,7 @@ main(int argc, char** argv)
     const bool full = args.has("full");
     const std::string out_path =
         args.getString("out", "BENCH_parallel.json");
+    const std::string baseline_path = args.getString("baseline", "");
 
     std::vector<SchemeConfig> schemes;
     std::vector<WorkloadSpec> workloads;
@@ -91,30 +150,68 @@ main(int argc, char** argv)
     std::cout << schemes.size() << " schemes x " << workloads.size()
               << " workloads\n\n";
 
+    // The harness owns the spans knob: the first two passes are the
+    // spans-off reference pair regardless of --spans.
     RunnerConfig serial_cfg = cfg;
     serial_cfg.jobs = 1;
+    serial_cfg.spans = false;
     std::vector<SchemeResults> serial_results;
     const double serial_s =
         timedMatrix(schemes, workloads, serial_cfg, serial_results);
 
     RunnerConfig parallel_cfg = cfg;
     parallel_cfg.jobs = jobs;
+    parallel_cfg.spans = false;
     std::vector<SchemeResults> parallel_results;
     const double parallel_s =
         timedMatrix(schemes, workloads, parallel_cfg, parallel_results);
+
+    RunnerConfig spans_cfg = serial_cfg;
+    spans_cfg.spans = true;
+    std::vector<SchemeResults> spans_results;
+    const double spans_s =
+        timedMatrix(schemes, workloads, spans_cfg, spans_results);
 
     const bool identical =
         identicalResults(serial_results, parallel_results);
     if (!identical)
         SDPCM_WARN("parallel results differ from serial — determinism "
                    "regression!");
+    const bool spans_clean =
+        subsetIdentical(serial_results, spans_results);
+    if (!spans_clean)
+        SDPCM_WARN("spans-on results differ from spans-off on shared "
+                   "metrics — the recorder perturbed the simulation!");
     const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+    const double spans_overhead =
+        serial_s > 0.0 ? spans_s / serial_s - 1.0 : 0.0;
 
     std::cout << "serial   : " << TablePrinter::fmt(serial_s, 3) << " s\n"
               << "parallel : " << TablePrinter::fmt(parallel_s, 3)
               << " s  (" << jobs << " jobs)\n"
+              << "spans-on : " << TablePrinter::fmt(spans_s, 3)
+              << " s  serial ("
+              << TablePrinter::pct(spans_overhead, 1) << " overhead)\n"
               << "speedup  : " << TablePrinter::fmt(speedup, 2) << "x\n"
-              << "identical: " << (identical ? "yes" : "NO") << "\n";
+              << "identical: " << (identical ? "yes" : "NO") << "\n"
+              << "spans obs-only: " << (spans_clean ? "yes" : "NO")
+              << "\n";
+
+    bool baseline_ok = true;
+    if (!baseline_path.empty()) {
+        const double base_s = baselineSerialSeconds(baseline_path);
+        const double rel = base_s > 0.0 ? serial_s / base_s - 1.0 : 0.0;
+        std::cout << "baseline : " << TablePrinter::fmt(base_s, 3)
+                  << " s spans-off serial ("
+                  << TablePrinter::pct(rel, 1) << " vs this run)\n";
+        if (rel > 0.02) {
+            baseline_ok = false;
+            std::cout << "FAIL: spans-off wall-clock regressed "
+                      << TablePrinter::pct(rel, 1) << " > 2% vs "
+                      << baseline_path
+                      << " — the compile-time-off promise is broken\n";
+        }
+    }
 
     std::ofstream os(out_path);
     if (!os)
@@ -128,10 +225,15 @@ main(int argc, char** argv)
        << "  \"jobs\": " << jobs << ",\n"
        << "  \"serial_seconds\": " << serial_s << ",\n"
        << "  \"parallel_seconds\": " << parallel_s << ",\n"
+       << "  \"spans_serial_seconds\": " << spans_s << ",\n"
        << "  \"speedup\": " << speedup << ",\n"
-       << "  \"identical\": " << (identical ? "true" : "false") << "\n"
+       << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"spans_observe_only\": "
+       << (spans_clean ? "true" : "false") << "\n"
        << "}\n";
     std::cout << "\nwritten to " << out_path << "\n";
+
+    maybeWriteSpans(args, spans_cfg, spans_results);
 
     // The serial results are the reference copy (they bit-match the
     // parallel ones whenever `identical` holds); wall-clock figures go
@@ -140,8 +242,12 @@ main(int argc, char** argv)
                      cfg, serial_results,
                      {{"serial_seconds", serial_s},
                       {"parallel_seconds", parallel_s},
+                      {"spans_serial_seconds", spans_s},
                       {"speedup", speedup},
-                      {"identical", identical ? 1.0 : 0.0}});
+                      {"identical", identical ? 1.0 : 0.0},
+                      {"spans_observe_only", spans_clean ? 1.0 : 0.0}});
     const int oracle_rc = checkOracle(cfg, serial_results);
-    return identical ? oracle_rc : 1;
+    if (!identical || !spans_clean || !baseline_ok)
+        return 1;
+    return oracle_rc;
 }

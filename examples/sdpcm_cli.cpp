@@ -117,6 +117,20 @@ main(int argc, char** argv)
             "  --report=FILE     write a machine-readable run report "
             "(JSON;\n"
             "                    compare across runs with report_diff)\n"
+            "  --spans[=FILE]    per-request span attribution: decompose"
+            " every\n"
+            "                    read/write latency into lifecycle phases"
+            "; with\n"
+            "                    FILE, write the per-phase blame summary "
+            "as JSON\n"
+            "  --spans-folded=FILE\n"
+            "                    write collapsed stacks "
+            "(scheme;kind;phase count)\n"
+            "                    for flamegraph tooling (implies --spans)"
+            "\n"
+            "  --spans-top=N     print the top-N phases by critical "
+            "cycles to\n"
+            "                    stderr (implies --spans)\n"
             "  --line-counters   track per-line wear/WD counters\n"
             "  --heatmap=KIND    export a spatial heatmap (implies "
             "--line-counters);\n"
@@ -171,6 +185,16 @@ main(int argc, char** argv)
         static_cast<Tick>(args.getInt("epoch", 0));
     const bool want_heatmap = args.has("heatmap");
     cfg.lineCounters = args.getBool("line-counters", false) || want_heatmap;
+    // A bare --spans stores "1" (enable, no file); any other value is
+    // the blame-JSON output path.
+    const std::string spans_arg = args.getString("spans", "");
+    const std::string spans_json =
+        (spans_arg.empty() || spans_arg == "1") ? "" : spans_arg;
+    const std::string spans_folded = args.getString("spans-folded", "");
+    const unsigned spans_top =
+        static_cast<unsigned>(args.getInt("spans-top", 0));
+    cfg.spans = args.has("spans") || !spans_folded.empty() ||
+                spans_top > 0;
     cfg.verifyOracle = args.getBool("verify-oracle", false);
     if (args.has("inject")) {
         try {
@@ -213,6 +237,37 @@ main(int argc, char** argv)
                           m.ctrl.readLatency.percentile(0.99), 0)});
         }
         t.print(std::cout);
+        if (cfg.spans) {
+            SpanSummary merged;
+            std::vector<SpanBlameEntry> entries;
+            for (const auto& w : workloads) {
+                const RunMetrics& cell = results.front().at(w.name);
+                merged.merge(cell.spans);
+                entries.push_back(
+                    SpanBlameEntry{cell.scheme, cell.workload,
+                                   &cell.spans});
+            }
+            if (!spans_json.empty()) {
+                std::ofstream os(spans_json);
+                if (!os)
+                    SDPCM_FATAL("cannot open ", spans_json);
+                writeSpanBlameJson(os, "sdpcm_cli", entries);
+                std::cout << "span blame written to " << spans_json
+                          << "\n";
+            }
+            if (!spans_folded.empty()) {
+                std::ofstream os(spans_folded);
+                if (!os)
+                    SDPCM_FATAL("cannot open ", spans_folded);
+                writeFoldedStacks(os, scheme.name, merged);
+                std::cout << "folded stacks written to " << spans_folded
+                          << "\n";
+            }
+            if (spans_top > 0) {
+                printSpanTop(std::cerr, scheme.name + "/all", merged,
+                             spans_top);
+            }
+        }
         if (cfg.verifyOracle) {
             std::cout << "\noracle: " << oracle_mismatches
                       << " mismatch(es) across " << workloads.size()
@@ -304,6 +359,29 @@ main(int argc, char** argv)
                 SDPCM_FATAL("cannot open ", pgm_path);
             writeHeatmapPgm(map, os);
             std::cout << "heatmap image written to " << pgm_path << "\n";
+        }
+    }
+    if (cfg.spans) {
+        if (!spans_json.empty()) {
+            std::ofstream os(spans_json);
+            if (!os)
+                SDPCM_FATAL("cannot open ", spans_json);
+            writeSpanBlameJson(os, "sdpcm_cli",
+                               {SpanBlameEntry{m.scheme, m.workload,
+                                               &m.spans}});
+            std::cout << "span blame written to " << spans_json << "\n";
+        }
+        if (!spans_folded.empty()) {
+            std::ofstream os(spans_folded);
+            if (!os)
+                SDPCM_FATAL("cannot open ", spans_folded);
+            writeFoldedStacks(os, scheme.name, m.spans);
+            std::cout << "folded stacks written to " << spans_folded
+                      << "\n";
+        }
+        if (spans_top > 0) {
+            printSpanTop(std::cerr, scheme.name + "/" + spec.name,
+                         m.spans, spans_top);
         }
     }
     const std::string report_path = args.getString("report", "");

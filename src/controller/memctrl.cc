@@ -145,8 +145,13 @@ MemoryController::submitRead(PhysAddr addr, unsigned core_id,
         return;
     }
 
-    b.readQueue.push_back(
-        PendingRead{la, core_id, events_.now(), std::move(on_complete)});
+    PendingRead pr{la, core_id, events_.now(), std::move(on_complete),
+                   SpanRecorder::kNull, 0};
+    if (spans_) {
+        pr.span = spans_->open(/*is_write=*/false, events_.now());
+        pr.drainSnap = drainCumNow(b);
+    }
+    b.readQueue.push_back(std::move(pr));
 
     // Write cancellation: abort a cancellable in-flight write operation
     // so the read can be served immediately.
@@ -171,9 +176,12 @@ MemoryController::maybeCancelForRead(unsigned bank)
     if (trace_) {
         // Close the op's duration event early and mark the abort.
         trace_->end(bank, events_.now(), {{"cancelled", 1.0}});
+        if (b.opSpanTraced)
+            trace_->end(bank, events_.now(), {{"cancelled", 1.0}});
         trace_->instant(bank, "write_cancel", "ctrl", events_.now(),
                         {{"elapsed", static_cast<double>(elapsed)}});
     }
+    b.opSpanTraced = false;
     b.opGen += 1; // the scheduled completion becomes a no-op
     b.busy = false;
     b.opCancellable = false;
@@ -251,6 +259,8 @@ MemoryController::submitWriteData(PhysAddr addr, const NmRatio& tag,
     w.enqueueTick = events_.now();
     w.payload = payload;
     computeAdjacency(w);
+    if (spans_)
+        w.span = spans_->open(/*is_write=*/true, events_.now());
     b.writeQueue.push_back(std::move(w));
     stats_.writesAccepted += 1;
     if (oracle_)
@@ -259,6 +269,7 @@ MemoryController::submitWriteData(PhysAddr addr, const NmRatio& tag,
     if (b.writeQueue.size() >= scheme_.writeQueueEntries &&
         !b.draining) {
         b.draining = true;
+        b.drainStart = events_.now();
         b.drainRemaining = scheme_.drainBurstWrites;
         stats_.writeDrains += 1;
         noteDrainStart(la.bank);
@@ -275,6 +286,13 @@ MemoryController::noteDrainStart(unsigned bank)
                         {{"queued", static_cast<double>(
                               banks_[bank].writeQueue.size())}});
     }
+}
+
+Tick
+MemoryController::drainCumNow(const Bank& b) const
+{
+    return b.drainCum +
+           (b.draining ? events_.now() - b.drainStart : Tick(0));
 }
 
 void
@@ -415,7 +433,9 @@ MemoryController::refundCycles(OpKind kind, Tick latency)
 
 void
 MemoryController::occupy(unsigned bank, Tick latency, OpKind kind,
-                         std::function<void()> done, bool cancellable)
+                         std::function<void()> done, bool cancellable,
+                         SpanRecorder::Handle span, SpanPhase span_phase,
+                         bool span_release)
 {
     Bank& b = banks_[bank];
     SDPCM_ASSERT(!b.busy, "bank ", bank, " double-occupied");
@@ -426,11 +446,19 @@ MemoryController::occupy(unsigned bank, Tick latency, OpKind kind,
     b.opStart = events_.now();
     b.opLatency = latency;
     chargeCycles(kind, latency);
+    const bool spanned = spans_ && span != SpanRecorder::kNull;
+    if (spanned)
+        spans_->transition(span, span_phase, b.opStart);
+    // Phase event first so the op's duration nests inside it.
+    b.opSpanTraced = trace_ && spanned;
+    if (b.opSpanTraced)
+        trace_->begin(bank, spanPhaseName(span_phase), "span", b.opStart);
     if (trace_)
         trace_->begin(bank, opName(kind), "bank", b.opStart);
 
     const std::uint64_t gen = b.opGen;
-    events_.scheduleAfter(latency, [this, bank, gen,
+    events_.scheduleAfter(latency, [this, bank, gen, spanned, span,
+                                    span_release,
                                     done = std::move(done)] {
         Bank& bb = banks_[bank];
         if (bb.opGen != gen)
@@ -439,7 +467,14 @@ MemoryController::occupy(unsigned bank, Tick latency, OpKind kind,
         bb.opCancellable = false;
         if (trace_)
             trace_->end(bank, events_.now());
+        if (bb.opSpanTraced) {
+            trace_->end(bank, events_.now());
+            bb.opSpanTraced = false;
+        }
         done();
+        if (spanned && span_release)
+            spans_->transition(span, SpanPhase::QueueWait,
+                               events_.now());
         kick(bank);
     });
 }
@@ -455,11 +490,13 @@ MemoryController::kick(unsigned bank)
     if (b.draining && !b.active &&
         (b.drainRemaining == 0 || b.writeQueue.empty())) {
         b.draining = false;
+        b.drainCum += events_.now() - b.drainStart;
     }
     // A (still) full queue immediately triggers the next burst.
     if (!b.draining &&
         b.writeQueue.size() >= scheme_.writeQueueEntries) {
         b.draining = true;
+        b.drainStart = events_.now();
         b.drainRemaining = scheme_.drainBurstWrites;
         stats_.writeDrains += 1;
         noteDrainStart(bank);
@@ -514,6 +551,15 @@ MemoryController::serviceRead(unsigned bank)
     Bank& b = banks_[bank];
     PendingRead req = std::move(b.readQueue.front());
     b.readQueue.pop_front();
+    const SpanRecorder::Handle span = req.span;
+    if (spans_ && span != SpanRecorder::kNull) {
+        // Carve the drain-burst overlap out of the read's queue wait:
+        // that slice is the bursty-write policy's fault, not generic
+        // contention.
+        spans_->transitionSplit(span, SpanPhase::Drain,
+                                drainCumNow(b) - req.drainSnap,
+                                SpanPhase::QueueWait, events_.now());
+    }
     occupy(bank, device_.config().timing.readCycles, OpKind::Read,
            [this, bank, req = std::move(req)] {
                // Re-validate forwarding at service time: a write to this
@@ -546,8 +592,12 @@ MemoryController::serviceRead(unsigned bank)
                    else
                        oracle_->noteArrayRead(req.la, data);
                }
+               if (spans_ && req.span != SpanRecorder::kNull)
+                   spans_->close(req.span, events_.now());
                req.onComplete(data);
-           });
+           },
+           /*cancellable=*/false, span, SpanPhase::ReadService,
+           /*span_release=*/false);
 }
 
 void
@@ -593,6 +643,14 @@ MemoryController::tryIssuePreRead(unsigned bank)
             // Issue the pre-read against the array.
             const LineAddr target = adj;
             const std::uint64_t id = w.id;
+            if (spans_ && w.span != SpanRecorder::kNull) {
+                // The capture burns bank cycles but the write it serves
+                // keeps queue-waiting: hidden, not critical, cycles.
+                spans_->hidden(w.span,
+                               is_upper ? SpanPhase::PreReadUp
+                                        : SpanPhase::PreReadLow,
+                               device_.config().timing.readCycles);
+            }
             occupy(bank, device_.config().timing.readCycles,
                    OpKind::PreRead,
                    [this, bank, target, id, is_upper] {
@@ -641,6 +699,8 @@ MemoryController::startWriteService(unsigned bank)
     aw.w = std::move(b.writeQueue.front());
     b.writeQueue.pop_front();
     aw.serviceStart = events_.now();
+    if (spans_ && aw.w.span != SpanRecorder::kNull)
+        spans_->beginAttempt(aw.w.span, events_.now());
     b.active.emplace(std::move(aw));
     notifySpace(bank);
     advanceWrite(bank);
@@ -652,6 +712,7 @@ MemoryController::cancelActive(unsigned bank)
     Bank& b = banks_[bank];
     SDPCM_ASSERT(b.active, "cancel without active write");
     QueuedWrite w = std::move(b.active->w);
+    const Tick serviceStart = b.active->serviceStart;
     if (b.active->planned) {
         // Rounds already applied keep their programming effects.
         // Bit-line damage is covered by the kept pre-read buffers +
@@ -668,6 +729,11 @@ MemoryController::cancelActive(unsigned bank)
     b.active.reset();
     w.cancels += 1;
     stats_.writeCancellations += 1;
+    // The whole aborted attempt is sunk cost: its work will be re-done
+    // when the entry resumes from the queue front.
+    stats_.cancelStallCycles += events_.now() - serviceStart;
+    if (spans_ && w.span != SpanRecorder::kNull)
+        spans_->cancelAttempt(w.span, events_.now());
     b.writeQueue.push_front(std::move(w));
 }
 
@@ -683,6 +749,8 @@ MemoryController::completeWrite(unsigned bank)
         static_cast<double>(b.active->maxDepthSeen));
     if (oracle_)
         oracle_->noteServiceEnd(b.active->w.id);
+    if (spans_ && b.active->w.span != SpanRecorder::kNull)
+        spans_->close(b.active->w.span, events_.now());
     if (b.active->planned)
         b.planPool = std::move(b.active->plan);
     b.active.reset();
@@ -782,7 +850,7 @@ MemoryController::advanceWrite(unsigned bank)
                 aw.w.prUpper = true;
                 stats_.verifyReads += 1;
                 aw.stage = ActiveWrite::Stage::PreLower;
-            }, /*cancellable=*/true);
+            }, /*cancellable=*/true, a.w.span, SpanPhase::PreReadUp);
             return;
           }
           case ActiveWrite::Stage::PreLower: {
@@ -803,7 +871,7 @@ MemoryController::advanceWrite(unsigned bank)
                 aw.w.prLower = true;
                 stats_.verifyReads += 1;
                 aw.stage = ActiveWrite::Stage::Rounds;
-            }, /*cancellable=*/true);
+            }, /*cancellable=*/true, a.w.span, SpanPhase::PreReadLow);
             return;
           }
           case ActiveWrite::Stage::Rounds: {
@@ -825,7 +893,8 @@ MemoryController::advanceWrite(unsigned bank)
                            const bool applied =
                                device_.applyNextRound(aw.plan, outcome);
                            SDPCM_ASSERT(applied, "round vanished");
-                       }, /*cancellable=*/true);
+                       }, /*cancellable=*/true, a.w.span,
+                       SpanPhase::WriteRounds);
                 return;
             }
             device_.finishWrite(a.plan);
@@ -854,7 +923,7 @@ MemoryController::advanceWrite(unsigned bank)
                 diffPositionsInto(post, aw.w.upperData, diffScratch_);
                 handleVerifyErrors(bank, aw.w.upperAddr, diffScratch_,
                                    1);
-            });
+            }, /*cancellable=*/false, a.w.span, SpanPhase::VerifyUp);
             return;
           }
           case ActiveWrite::Stage::VerLower: {
@@ -876,14 +945,16 @@ MemoryController::advanceWrite(unsigned bank)
                 diffPositionsInto(post, aw.w.lowerData, diffScratch_);
                 handleVerifyErrors(bank, aw.w.lowerAddr, diffScratch_,
                                    1);
-            });
+            }, /*cancellable=*/false, a.w.span, SpanPhase::VerifyLow);
             return;
           }
           case ActiveWrite::Stage::Corrections: {
             if (a.pendingEcpCycles > 0) {
                 const Tick lat = a.pendingEcpCycles;
                 a.pendingEcpCycles = 0;
-                occupy(bank, lat, OpKind::EcpUpdate, [] {});
+                occupy(bank, lat, OpKind::EcpUpdate, [] {},
+                       /*cancellable=*/false, a.w.span,
+                       SpanPhase::LazyCorrect);
                 return;
             }
             if (a.corr) {
@@ -954,7 +1025,7 @@ MemoryController::advanceCorrection(unsigned bank)
                 cc.upData = device_.readLine(cc.up);
                 cc.haveUpData = true;
                 cc.stage = ActiveCorrection::Stage::PreLow;
-            });
+            }, /*cancellable=*/false, a.w.span, SpanPhase::LazyCorrect);
             return;
           }
           case ActiveCorrection::Stage::PreLow: {
@@ -967,7 +1038,7 @@ MemoryController::advanceCorrection(unsigned bank)
                 cc.lowData = device_.readLine(cc.low);
                 cc.haveLowData = true;
                 cc.stage = ActiveCorrection::Stage::Rounds;
-            });
+            }, /*cancellable=*/false, a.w.span, SpanPhase::LazyCorrect);
             return;
           }
           case ActiveCorrection::Stage::Rounds: {
@@ -994,7 +1065,8 @@ MemoryController::advanceCorrection(unsigned bank)
                            const bool applied =
                                device_.applyNextRound(cc.plan, outcome);
                            SDPCM_ASSERT(applied, "round vanished");
-                       });
+                       }, /*cancellable=*/false, a.w.span,
+                       SpanPhase::LazyCorrect);
                 return;
             }
             device_.finishWrite(c.plan);
@@ -1015,7 +1087,7 @@ MemoryController::advanceCorrection(unsigned bank)
                 diffPositionsInto(post, cc.upData, diffScratch_);
                 handleVerifyErrors(bank, cc.up, diffScratch_,
                                    cc.task.depth + 1);
-            });
+            }, /*cancellable=*/false, a.w.span, SpanPhase::LazyCorrect);
             return;
           }
           case ActiveCorrection::Stage::VerLow: {
@@ -1032,7 +1104,7 @@ MemoryController::advanceCorrection(unsigned bank)
                 diffPositionsInto(post, cc.lowData, diffScratch_);
                 handleVerifyErrors(bank, cc.low, diffScratch_,
                                    cc.task.depth + 1);
-            });
+            }, /*cancellable=*/false, a.w.span, SpanPhase::LazyCorrect);
             return;
           }
           case ActiveCorrection::Stage::Done: {

@@ -40,6 +40,7 @@
 
 #include "common/stats.hh"
 #include "controller/scheme.hh"
+#include "obs/spans.hh"
 #include "obs/trace_sink.hh"
 #include "pcm/device.hh"
 #include "sim/event_queue.hh"
@@ -78,6 +79,12 @@ struct CtrlStats
     RunningStat cascadeDepth;
 
     std::uint64_t writeCancellations = 0;
+    /** Cycles burned by cancelled service attempts (service start to
+     *  cancel, summed over every cancellation). Kept as a first-class
+     *  counter so the cost of re-done work is visible even with span
+     *  attribution off; with spans on it equals the recorder's
+     *  CancelStall total (asserted in tests). */
+    std::uint64_t cancelStallCycles = 0;
 
     /** Bank-busy cycles by operation category. */
     std::uint64_t cyclesRead = 0;
@@ -116,6 +123,14 @@ class MemoryController
      * emission sites are single null checks.
      */
     void setOracle(ShadowOracle* oracle) { oracle_ = oracle; }
+
+    /**
+     * Attach the per-request span recorder (null detaches). Every
+     * read/write gets a lifecycle record whose phase transitions are
+     * driven at the existing stage boundaries; detached, the emission
+     * sites are single null checks (obs/spans.hh).
+     */
+    void setSpanRecorder(SpanRecorder* spans) { spans_ = spans; }
 
     // --- Observability accessors (epoch sampling / diagnostics). ---
     unsigned
@@ -188,6 +203,8 @@ class MemoryController
         LineData upperData;
         LineData lowerData;
         unsigned cancels = 0;
+        /** Span lifecycle record (kNull when attribution is off). */
+        SpanRecorder::Handle span = SpanRecorder::kNull;
     };
 
     struct PendingRead
@@ -196,6 +213,11 @@ class MemoryController
         unsigned coreId = 0;
         Tick enqueueTick = 0;
         std::function<void(const LineData&)> onComplete;
+        /** Span lifecycle record (kNull when attribution is off). */
+        SpanRecorder::Handle span = SpanRecorder::kNull;
+        /** Bank drain-cycle total at enqueue; the delta at service time
+         *  is the read's drain-overlap (its Drain phase). */
+        Tick drainSnap = 0;
     };
 
     /** A pending correction (cascading verification work item). */
@@ -261,14 +283,32 @@ class MemoryController
         OpKind opKind = OpKind::Read;
         Tick opStart = 0;
         Tick opLatency = 0;
+        /** True while the in-flight op has an open span-phase trace
+         *  event that must be closed on completion or cancel. */
+        bool opSpanTraced = false;
+        // Cumulative drain-burst cycles (for read Drain attribution).
+        Tick drainStart = 0;
+        Tick drainCum = 0;
     };
 
     static const char* opName(OpKind kind);
     void noteDrainStart(unsigned bank);
+    /** Cumulative drain-burst cycles of the bank as of now. */
+    Tick drainCumNow(const Bank& b) const;
 
     void kick(unsigned bank);
+    /**
+     * Occupy the bank for `latency` cycles. When `span` is a live
+     * handle, the request's span transitions into `span_phase` for the
+     * op's duration (nested under the op's trace event); on completion
+     * it returns to QueueWait unless `span_release` is false (the
+     * caller closes the span itself, e.g. a completing read).
+     */
     void occupy(unsigned bank, Tick latency, OpKind kind,
-                std::function<void()> done, bool cancellable = false);
+                std::function<void()> done, bool cancellable = false,
+                SpanRecorder::Handle span = SpanRecorder::kNull,
+                SpanPhase span_phase = SpanPhase::QueueWait,
+                bool span_release = true);
     void chargeCycles(OpKind kind, Tick latency);
     void refundCycles(OpKind kind, Tick latency);
     void maybeCancelForRead(unsigned bank);
@@ -314,6 +354,7 @@ class MemoryController
     std::vector<unsigned> diffScratch_;
     TraceSink* trace_ = nullptr;
     ShadowOracle* oracle_ = nullptr;
+    SpanRecorder* spans_ = nullptr;
     std::uint64_t nextWriteId_ = 1;
     std::vector<Bank> banks_;
     mutable std::map<std::uint64_t, NmPolicy> policies_;

@@ -237,24 +237,41 @@ globMatch(std::string_view pattern, std::string_view text)
 
 DiffResult
 diffReports(const ParsedReport& baseline, const ParsedReport& current,
-            const ThresholdSet& thresholds)
+            const ThresholdSet& thresholds, bool allow_missing)
 {
     DiffResult result;
     if (baseline.schemaVersion != current.schemaVersion) {
-        result.ok = false;
+        if (!allow_missing) {
+            result.ok = false;
+            result.notes.push_back(
+                "FAIL: schema version mismatch (baseline v" +
+                std::to_string(baseline.schemaVersion) + ", current v" +
+                std::to_string(current.schemaVersion) +
+                "); refresh the baseline, or pass --allow-missing to "
+                "compare across the bump");
+            return result;
+        }
         result.notes.push_back(
-            "FAIL: schema version mismatch (baseline v" +
-            std::to_string(baseline.schemaVersion) + ", current v" +
-            std::to_string(current.schemaVersion) + ")");
-        return result;
+            "note: schema version mismatch tolerated (--allow-missing): "
+            "baseline v" + std::to_string(baseline.schemaVersion) +
+            ", current v" + std::to_string(current.schemaVersion));
     }
 
     for (const auto& [run_key, base_stats] : baseline.runs) {
         const auto cur_it = current.runs.find(run_key);
         if (cur_it == current.runs.end()) {
-            result.ok = false;
-            result.notes.push_back("FAIL: run '" + run_key +
-                                   "' missing from current report");
+            if (!allow_missing) {
+                result.ok = false;
+                result.notes.push_back(
+                    "FAIL: run '" + run_key +
+                    "' missing from current report (a baseline run "
+                    "must not silently disappear; --allow-missing "
+                    "tolerates this during schema bumps)");
+            } else {
+                result.notes.push_back("note: run '" + run_key +
+                                       "' missing from current report "
+                                       "(tolerated: --allow-missing)");
+            }
             continue;
         }
         const auto& cur_stats = cur_it->second;
@@ -262,9 +279,20 @@ diffReports(const ParsedReport& baseline, const ParsedReport& current,
             const auto cur_metric = cur_stats.find(metric);
             const std::string key = run_key + "/" + metric;
             if (cur_metric == cur_stats.end()) {
-                result.ok = false;
-                result.notes.push_back("FAIL: metric '" + key +
-                                       "' missing from current report");
+                if (!allow_missing) {
+                    result.ok = false;
+                    result.notes.push_back(
+                        "FAIL: metric '" + key +
+                        "' missing from current report (a pinned "
+                        "metric must not silently disappear; "
+                        "--allow-missing tolerates this during "
+                        "schema bumps)");
+                } else {
+                    result.notes.push_back(
+                        "note: metric '" + key +
+                        "' missing from current report "
+                        "(tolerated: --allow-missing)");
+                }
                 continue;
             }
             const double cur_value = cur_metric->second;

@@ -33,8 +33,17 @@
 
 namespace sdpcm {
 
-/** Current report schema version (see the file comment for the rule). */
-constexpr int kReportSchemaVersion = 1;
+/**
+ * Current report schema version (see the file comment for the rule).
+ *
+ * v2: per-request span attribution (`span.*` metrics and the always-on
+ * `ctrl.cancelStallCycles`). The span metrics are structurally additive,
+ * but the version is bumped deliberately: the regression gate pins
+ * phase-level behaviour now, and a v1 baseline would let a spans-enabled
+ * run silently pass against a report that never measured phases. Use
+ * `report_diff --allow-missing` while migrating baselines across a bump.
+ */
+constexpr int kReportSchemaVersion = 2;
 
 /** One (scheme, workload) cell of a report. */
 struct ReportRun
@@ -141,10 +150,17 @@ struct DiffResult
  * current, or a relative delta above the metric's threshold. Metrics and
  * runs only present in `current` are additions — noted, never failures
  * (the additive-schema rule above).
+ *
+ * `allow_missing` downgrades the structural failures (schema version
+ * mismatch, missing runs/metrics) to notes; present-in-both metrics are
+ * still compared. It exists solely as the escape hatch for schema bumps
+ * and baseline refreshes — a gate running with it permanently is not
+ * pinning anything that can disappear.
  */
 DiffResult diffReports(const ParsedReport& baseline,
                        const ParsedReport& current,
-                       const ThresholdSet& thresholds);
+                       const ThresholdSet& thresholds,
+                       bool allow_missing = false);
 
 } // namespace sdpcm
 

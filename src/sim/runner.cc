@@ -42,6 +42,7 @@ runOne(const SchemeConfig& scheme, const WorkloadSpec& workload,
     sc.tracePath = cfg.tracePath;
     sc.epochTicks = cfg.epochTicks;
     sc.lineCounters = cfg.lineCounters;
+    sc.spans = cfg.spans;
     sc.verifyOracle = cfg.verifyOracle;
     sc.faults = cfg.faults;
     System system(sc, workload);

@@ -48,6 +48,8 @@ struct RunnerConfig
     Tick epochTicks = 0;
     /** Track per-line wear/WD counters (RunMetrics::lines, heatmaps). */
     bool lineCounters = false;
+    /** Per-request span attribution (RunMetrics::spans). */
+    bool spans = false;
 
     // Verification passthrough (see SystemConfig).
     bool verifyOracle = false;

@@ -105,6 +105,10 @@ System::System(const SystemConfig& config, const WorkloadSpec& workload)
         oracle_->setTraceSink(traceSink_.get());
         ctrl_->setOracle(oracle_.get());
     }
+    if (config_.spans) {
+        spanRecorder_ = std::make_unique<SpanRecorder>();
+        ctrl_->setSpanRecorder(spanRecorder_.get());
+    }
 
     for (unsigned c = 0; c < config_.cores; ++c) {
         mmus_.push_back(std::make_unique<Mmu>(
@@ -224,6 +228,8 @@ RunMetrics::toSnapshot() const
     s.set("ctrl.cascadeDepth.max", ctrl.cascadeDepth.max());
     s.set("ctrl.writeCancellations",
           static_cast<double>(ctrl.writeCancellations));
+    s.set("ctrl.cancelStallCycles",
+          static_cast<double>(ctrl.cancelStallCycles));
     s.set("ctrl.readLatency.mean", ctrl.readLatency.mean());
     s.set("ctrl.readLatency.max", ctrl.readLatency.max());
     s.set("read_latency_p50", ctrl.readLatency.percentile(0.50));
@@ -276,6 +282,8 @@ RunMetrics::toSnapshot() const
               static_cast<double>(oracle.maskedUncorrectable));
     }
 
+    addSpanMetrics(s, spans);
+
     if (epochs.enabled()) {
         s.set("epoch.ticks", static_cast<double>(epochs.epochTicks));
         s.set("epoch.samples",
@@ -311,6 +319,15 @@ System::metrics() const
         m.lines = device_->lineCounterSamples();
     if (oracle_)
         m.oracle = oracle_->summary();
+    if (spanRecorder_) {
+        m.spans = spanRecorder_->summarize();
+        // Spans also count every cancelled attempt; the two counters
+        // measure the same thing through independent machinery.
+        SDPCM_ASSERT(m.spans.cancelStallCycles ==
+                         m.ctrl.cancelStallCycles,
+                     "span CancelStall total diverged from the "
+                     "controller counter");
+    }
     return m;
 }
 

@@ -64,6 +64,8 @@ struct SystemConfig
     Tick epochTicks = 0;
     /** Track per-line wear/WD counters for spatial heatmaps. */
     bool lineCounters = false;
+    /** Per-request span attribution (obs/spans.hh). */
+    bool spans = false;
 
     // --- Verification (both default off: zero-overhead fast path). ---
     /** Shadow-memory integrity oracle (see verify/oracle.hh). */
@@ -87,6 +89,8 @@ struct RunMetrics
     std::vector<LineCounterSample> lines;
     /** Oracle counters; `enabled` false unless verifyOracle was on. */
     OracleSummary oracle;
+    /** Per-phase blame; `enabled` false unless spans was on. */
+    SpanSummary spans;
 
     /** Correction writes per completed data write (Figure 12). */
     double
@@ -128,6 +132,8 @@ class System
     TraceSink* traceSink() { return traceSink_.get(); }
     /** The integrity oracle, or null when --verify-oracle is off. */
     ShadowOracle* oracle() { return oracle_.get(); }
+    /** The span recorder, or null when --spans is off. */
+    SpanRecorder* spanRecorder() { return spanRecorder_.get(); }
     const WdModel& wdModel() const { return wdModel_; }
     const std::vector<std::unique_ptr<TraceCore>>& cores() const
     {
@@ -149,6 +155,7 @@ class System
     std::unique_ptr<EpochSampler> epochSampler_;
     std::unique_ptr<FaultInjector> faultInjector_;
     std::unique_ptr<ShadowOracle> oracle_;
+    std::unique_ptr<SpanRecorder> spanRecorder_;
     std::unique_ptr<PageAllocatorSystem> allocator_;
     std::vector<std::unique_ptr<Mmu>> mmus_;
     std::vector<std::unique_ptr<TraceStream>> streams_;

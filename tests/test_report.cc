@@ -217,6 +217,50 @@ TEST(ReportDiff, SchemaVersionMismatchFails)
     EXPECT_FALSE(d.ok);
     ASSERT_FALSE(d.notes.empty());
     EXPECT_NE(d.notes[0].find("schema version"), std::string::npos);
+    // The failure message must point at the escape hatch.
+    EXPECT_NE(d.notes[0].find("--allow-missing"), std::string::npos);
+}
+
+TEST(ReportDiff, AllowMissingDowngradesHardFailuresToNotes)
+{
+    const ParsedReport base = parseReport(toText(quickReport()));
+
+    // Missing metric: fatal by default, tolerated under allow_missing —
+    // but still surfaced as a note, never silently dropped.
+    ParsedReport missing_metric = base;
+    missing_metric.runs.begin()->second.erase("sim.meanCpi");
+    const DiffResult strict =
+        diffReports(base, missing_metric, ThresholdSet{});
+    EXPECT_FALSE(strict.ok);
+    ASSERT_FALSE(strict.notes.empty());
+    EXPECT_NE(strict.notes[0].find("--allow-missing"),
+              std::string::npos);
+    const DiffResult tolerated =
+        diffReports(base, missing_metric, ThresholdSet{}, true);
+    EXPECT_TRUE(tolerated.ok);
+    EXPECT_FALSE(tolerated.notes.empty());
+
+    // Missing run: same contract.
+    ParsedReport missing_run = base;
+    missing_run.runs.erase(missing_run.runs.begin());
+    EXPECT_FALSE(diffReports(base, missing_run, ThresholdSet{}).ok);
+    const DiffResult run_ok =
+        diffReports(base, missing_run, ThresholdSet{}, true);
+    EXPECT_TRUE(run_ok.ok);
+    EXPECT_FALSE(run_ok.notes.empty());
+
+    // Schema bump: allow_missing compares across it, still noting the
+    // mismatch, and the shared metrics are still gated.
+    ParsedReport bumped = base;
+    bumped.schemaVersion = base.schemaVersion + 1;
+    const DiffResult schema_ok =
+        diffReports(base, bumped, ThresholdSet{}, true);
+    EXPECT_TRUE(schema_ok.ok);
+    EXPECT_FALSE(schema_ok.notes.empty());
+    ParsedReport bumped_bad = bumped;
+    bumped_bad.runs.begin()->second["ctrl.writesCompleted"] += 1.0;
+    EXPECT_FALSE(
+        diffReports(base, bumped_bad, ThresholdSet{}, true).ok);
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for per-request span attribution (obs/spans.hh): the recorder's
+ * telescoping invariant at the unit level, and system-level invariants
+ * across schemes, cancellation settings, and fault injection — every
+ * closed request's phases must sum to its end-to-end latency, the
+ * recorder must never perturb the simulation, and the blame split must
+ * reproduce the paper's PreRead story (Section 4.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/spans.hh"
+#include "sim/runner.hh"
+
+namespace sdpcm {
+namespace {
+
+TEST(SpanRecorder, PhasesSumToEndToEnd)
+{
+    SpanRecorder r;
+    const auto h = r.open(true, 100);
+    r.transition(h, SpanPhase::WriteRounds, 150);
+    r.transition(h, SpanPhase::QueueWait, 300);
+    r.close(h, 400);
+
+    const SpanSummary s = r.summarize();
+    EXPECT_EQ(s.writesClosed, 1u);
+    EXPECT_EQ(s.readsClosed, 0u);
+    EXPECT_EQ(s.openAtEnd, 0u);
+    const auto& w = s.write;
+    EXPECT_EQ(w[unsigned(SpanPhase::QueueWait)].criticalCycles, 150u);
+    EXPECT_EQ(w[unsigned(SpanPhase::WriteRounds)].criticalCycles, 150u);
+    EXPECT_EQ(s.totalCritical(true), 300u);
+    EXPECT_EQ(static_cast<std::uint64_t>(s.writeEndToEnd.sum()), 300u);
+}
+
+TEST(SpanRecorder, TransitionSplitCarvesStolenCycles)
+{
+    SpanRecorder r;
+    const auto h = r.open(false, 0);
+    // 100 cycles of queue wait, 40 of which overlapped a drain burst.
+    r.transitionSplit(h, SpanPhase::Drain, 40, SpanPhase::ReadService,
+                      100);
+    r.close(h, 150);
+
+    const SpanSummary s = r.summarize();
+    const auto& rd = s.read;
+    EXPECT_EQ(rd[unsigned(SpanPhase::QueueWait)].criticalCycles, 60u);
+    EXPECT_EQ(rd[unsigned(SpanPhase::Drain)].criticalCycles, 40u);
+    EXPECT_EQ(rd[unsigned(SpanPhase::ReadService)].criticalCycles, 50u);
+    EXPECT_EQ(s.totalCritical(false), 150u);
+    EXPECT_EQ(static_cast<std::uint64_t>(s.readEndToEnd.sum()), 150u);
+}
+
+TEST(SpanRecorder, CancelRelabelsAttemptAsStall)
+{
+    SpanRecorder r;
+    const auto h = r.open(true, 0);
+    r.beginAttempt(h, 100); // 100 cycles QueueWait
+    r.transition(h, SpanPhase::WriteRounds, 100);
+    r.cancelAttempt(h, 180); // attempt discarded: 80 cycles -> stall
+    EXPECT_EQ(r.cancelStallCycles(), 80u);
+    r.beginAttempt(h, 250); // 70 cycles Retry
+    r.transition(h, SpanPhase::WriteRounds, 250);
+    r.close(h, 300);
+
+    const SpanSummary s = r.summarize();
+    const auto& w = s.write;
+    EXPECT_EQ(w[unsigned(SpanPhase::QueueWait)].criticalCycles, 100u);
+    EXPECT_EQ(w[unsigned(SpanPhase::CancelStall)].criticalCycles, 80u);
+    EXPECT_EQ(w[unsigned(SpanPhase::Retry)].criticalCycles, 70u);
+    // The cancelled attempt's WriteRounds cycles were re-labelled; only
+    // the successful retry's remain.
+    EXPECT_EQ(w[unsigned(SpanPhase::WriteRounds)].criticalCycles, 50u);
+    EXPECT_EQ(s.totalCritical(true), 300u);
+    EXPECT_EQ(s.cancelStallCycles, 80u);
+}
+
+TEST(SpanRecorder, CancelStallCountsUnclosedWrites)
+{
+    SpanRecorder r;
+    const auto h = r.open(true, 0);
+    r.beginAttempt(h, 10);
+    r.cancelAttempt(h, 60);
+    // Never closed: the per-phase aggregate misses it, the counter and
+    // summary total do not (they must match CtrlStats exactly).
+    EXPECT_EQ(r.cancelStallCycles(), 50u);
+    const SpanSummary s = r.summarize();
+    EXPECT_EQ(s.cancelStallCycles, 50u);
+    EXPECT_EQ(s.write[unsigned(SpanPhase::CancelStall)].criticalCycles,
+              0u);
+    EXPECT_EQ(s.openAtEnd, 1u);
+}
+
+TEST(SpanRecorder, HiddenCyclesDoNotEnterCriticalSum)
+{
+    SpanRecorder r;
+    const auto h = r.open(true, 0);
+    r.hidden(h, SpanPhase::PreReadUp, 400);
+    r.close(h, 1000);
+
+    const SpanSummary s = r.summarize();
+    const auto& agg = s.write[unsigned(SpanPhase::PreReadUp)];
+    EXPECT_EQ(agg.hiddenCycles, 400u);
+    EXPECT_EQ(agg.criticalCycles, 0u);
+    EXPECT_EQ(agg.requests, 0u); // requests count critical activity only
+    EXPECT_EQ(s.totalCritical(true), 1000u);
+    EXPECT_EQ(s.totalHidden(true), 400u);
+}
+
+TEST(SpanRecorder, HandlesAreRecycled)
+{
+    SpanRecorder r;
+    const auto h0 = r.open(true, 0);
+    r.close(h0, 10);
+    const auto h1 = r.open(false, 20);
+    EXPECT_EQ(h1, h0); // freed slot reused: allocation-free steady state
+    r.close(h1, 30);
+    const SpanSummary s = r.summarize();
+    EXPECT_EQ(s.writesClosed, 1u);
+    EXPECT_EQ(s.readsClosed, 1u);
+}
+
+TEST(SpanRecorder, FoldedStacksFormat)
+{
+    SpanRecorder r;
+    const auto h = r.open(true, 0);
+    r.hidden(h, SpanPhase::PreReadUp, 7);
+    r.transition(h, SpanPhase::WriteRounds, 10);
+    r.close(h, 25);
+
+    std::ostringstream os;
+    writeFoldedStacks(os, "sdpcm", r.summarize());
+    const std::string out = os.str();
+    EXPECT_NE(out.find("sdpcm;write;QueueWait 10\n"), std::string::npos);
+    EXPECT_NE(out.find("sdpcm;write;WriteRounds 15\n"),
+              std::string::npos);
+    // Hidden cycles fold underneath the phase that absorbed them.
+    EXPECT_NE(out.find("sdpcm;write;QueueWait;PreReadUp 7\n"),
+              std::string::npos);
+    // Zero-count stacks are omitted.
+    EXPECT_EQ(out.find("VerifyUp"), std::string::npos);
+}
+
+RunnerConfig
+smallConfig(std::uint64_t refs = 1200, unsigned cores = 2)
+{
+    RunnerConfig cfg;
+    cfg.refsPerCore = refs;
+    cfg.cores = cores;
+    cfg.spans = true;
+    return cfg;
+}
+
+/** The telescoping invariant, at the summary level, for one run. */
+void
+checkSummaryInvariants(const RunMetrics& m, const std::string& label)
+{
+    SCOPED_TRACE(label);
+    ASSERT_TRUE(m.spans.enabled);
+    EXPECT_GT(m.spans.writesClosed, 0u);
+    // Per-request phase sums equal end-to-end latency (close() asserts
+    // it request by request; the totals must therefore match too).
+    EXPECT_EQ(m.spans.totalCritical(true),
+              static_cast<std::uint64_t>(m.spans.writeEndToEnd.sum()));
+    EXPECT_EQ(m.spans.totalCritical(false),
+              static_cast<std::uint64_t>(m.spans.readEndToEnd.sum()));
+    EXPECT_EQ(m.spans.writeEndToEnd.count(), m.spans.writesClosed);
+    EXPECT_EQ(m.spans.readEndToEnd.count(), m.spans.readsClosed);
+    // The always-on controller counter and the span-derived total agree.
+    EXPECT_EQ(m.spans.cancelStallCycles, m.ctrl.cancelStallCycles);
+}
+
+TEST(SpanSystem, InvariantAcrossSchemesCancellationAndFaults)
+{
+    const WorkloadSpec qstress = workloadFromProfile("qstress");
+    const std::vector<SchemeConfig> schemes = {
+        SchemeConfig::baselineVnc(), SchemeConfig::lazyCPreRead(),
+        SchemeConfig::sdpcm(), SchemeConfig::fnwVnc()};
+    for (const SchemeConfig& base : schemes) {
+        for (const bool wc : {false, true}) {
+            for (const bool inject : {false, true}) {
+                SchemeConfig scheme = base;
+                scheme.writeCancellation = wc;
+                RunnerConfig cfg = smallConfig();
+                if (inject) {
+                    cfg.faults = FaultSpec::parse(
+                        "stuck=0.3,ecp=2,wd=0.02,seed=5");
+                }
+                const RunMetrics m = runOne(scheme, qstress, cfg);
+                checkSummaryInvariants(
+                    m, scheme.name + (wc ? "/wc" : "/no-wc") +
+                           (inject ? "/inject" : ""));
+                if (!wc) {
+                    EXPECT_EQ(m.ctrl.cancelStallCycles, 0u);
+                    EXPECT_EQ(m.spans.cancelStallCycles, 0u);
+                }
+            }
+        }
+    }
+}
+
+TEST(SpanSystem, RecorderObservesWithoutPerturbing)
+{
+    const WorkloadSpec qstress = workloadFromProfile("qstress");
+    SchemeConfig scheme = SchemeConfig::sdpcm();
+    scheme.writeCancellation = true;
+    RunnerConfig cfg = smallConfig();
+    cfg.faults = FaultSpec::parse("stuck=0.3,ecp=2,wd=0.02,seed=5");
+
+    RunnerConfig off_cfg = cfg;
+    off_cfg.spans = false;
+    const RunMetrics off = runOne(scheme, qstress, off_cfg);
+    const RunMetrics on = runOne(scheme, qstress, cfg);
+    EXPECT_FALSE(off.spans.enabled);
+
+    // Every spans-off metric must appear bit-identical in the spans-on
+    // snapshot; spans-on only ADDS span.* keys.
+    const auto off_snap = off.toSnapshot();
+    const auto on_snap = on.toSnapshot();
+    const auto& on_vals = on_snap.values();
+    for (const auto& [metric, value] : off_snap.values()) {
+        const auto it = on_vals.find(metric);
+        ASSERT_NE(it, on_vals.end()) << "missing metric: " << metric;
+        EXPECT_EQ(it->second, value) << "perturbed metric: " << metric;
+    }
+    EXPECT_GT(on_vals.size(), off_snap.values().size());
+    EXPECT_TRUE(on_vals.count("span.write.closed"));
+    EXPECT_TRUE(on_vals.count("span.cancelStallCycles"));
+}
+
+TEST(SpanSystem, PreReadMovesCriticalCyclesToHidden)
+{
+    // Section 4.3: under basic VnC every write pays PreUpper/PreLower in
+    // its own service; sdpcm's idle-cycle pre-read captures do that work
+    // while the write still queue-waits, and verify reads shrink because
+    // captured neighbours skip re-verification.
+    const WorkloadSpec qstress = workloadFromProfile("qstress");
+    const RunnerConfig cfg = smallConfig(2000, 4);
+    SchemeConfig base = SchemeConfig::baselineVnc();
+    base.writeCancellation = true;
+    SchemeConfig sd = SchemeConfig::sdpcm();
+    sd.writeCancellation = true;
+    const RunMetrics bm = runOne(base, qstress, cfg);
+    const RunMetrics sm = runOne(sd, qstress, cfg);
+
+    const auto pre_up = unsigned(SpanPhase::PreReadUp);
+    const auto pre_low = unsigned(SpanPhase::PreReadLow);
+    // Baseline: all pre-read cost is critical, nothing is hidden.
+    EXPECT_EQ(bm.spans.totalHidden(true), 0u);
+    EXPECT_GT(bm.spans.write[pre_up].criticalCycles +
+                  bm.spans.write[pre_low].criticalCycles,
+              0u);
+    // sdpcm: pre-read work moved into hidden cycles.
+    EXPECT_GT(sm.spans.write[pre_up].hiddenCycles +
+                  sm.spans.write[pre_low].hiddenCycles,
+              0u);
+    // And the verify-read phases cover fewer writes than the baseline's.
+    const auto ver_up = unsigned(SpanPhase::VerifyUp);
+    const auto ver_low = unsigned(SpanPhase::VerifyLow);
+    EXPECT_LT(sm.spans.write[ver_up].requests +
+                  sm.spans.write[ver_low].requests,
+              bm.spans.write[ver_up].requests +
+                  bm.spans.write[ver_low].requests);
+}
+
+} // namespace
+} // namespace sdpcm

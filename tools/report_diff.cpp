@@ -3,12 +3,18 @@
  * Cross-run regression gate: compare two run reports metric by metric.
  *
  *   report_diff BASELINE.json CURRENT.json [--thresholds=FILE]
- *               [--show-all]
+ *               [--show-all] [--allow-missing]
  *
  * Every metric of every (scheme, workload) run in BASELINE must exist in
  * CURRENT and match within its relative threshold (default: exact — the
  * simulator is deterministic). Changed metrics are printed as a delta
  * table; structural notes (missing/added runs or metrics) follow.
+ *
+ * A baseline metric missing from CURRENT is a hard failure: a pinned
+ * metric that silently disappears is exactly the regression the gate
+ * exists to catch. `--allow-missing` downgrades missing runs/metrics
+ * and schema-version mismatches to notes — the escape hatch for schema
+ * bumps and baseline refreshes, not for permanent use.
  *
  * Exit codes: 0 = no regression, 1 = regression (or missing baseline
  * data), 2 = usage/parse error. Metrics or runs only present in CURRENT
@@ -57,7 +63,8 @@ main(int argc, char** argv)
     ArgParser args(static_cast<int>(flag_argv.size()), flag_argv.data());
     if (args.has("help") || paths.size() != 2) {
         std::cerr << "usage: report_diff BASELINE.json CURRENT.json"
-                     " [--thresholds=FILE] [--show-all]\n";
+                     " [--thresholds=FILE] [--show-all]"
+                     " [--allow-missing]\n";
         return paths.size() == 2 ? 0 : 2;
     }
 
@@ -74,7 +81,9 @@ main(int argc, char** argv)
         return 2;
     }
 
-    const DiffResult diff = diffReports(baseline, current, thresholds);
+    const DiffResult diff =
+        diffReports(baseline, current, thresholds,
+                    args.getBool("allow-missing", false));
     const bool show_all = args.getBool("show-all", false);
 
     std::cout << "baseline: " << paths[0] << " (" << baseline.runs.size()
