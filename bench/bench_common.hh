@@ -26,6 +26,20 @@
  *              (flamegraph format; implies --spans).
  *   --spans-top=N  print each scheme's top-N phases by critical cycles
  *              to stderr (implies --spans).
+ *   --telemetry-interval=N  streaming telemetry: poll the metric
+ *              registry every N ticks on every cell (obs/telemetry.hh);
+ *              telemetry.* metrics land in the report.
+ *   --monitor=RULES  ';'-separated SLO monitor rules (obs/monitor.hh
+ *              grammar); breach counts land in the report as mon.*
+ *              metrics. Implies a default --telemetry-interval.
+ *   --watchdog=N  flag a stall when no request retires for N ticks
+ *              while work is pending. Implies --telemetry-interval.
+ *   --telemetry=FILE / --telemetry-prom=FILE  stream JSONL frames /
+ *              dump Prometheus text exposition — single runs only;
+ *              matrix benches drop the paths with a warning (rules and
+ *              the watchdog still run per cell).
+ *   --quiet    silence banner and progress lines (LogLevel::Warn).
+ *              Monitor breach and watchdog warnings still print.
  */
 
 #ifndef SDPCM_BENCH_COMMON_HH
@@ -53,6 +67,8 @@ inline RunnerConfig
 configFromArgs(int argc, char** argv, std::int64_t default_refs = 10000)
 {
     ArgParser args(argc, argv);
+    if (args.getBool("quiet", false))
+        setLogLevel(LogLevel::Warn);
     RunnerConfig cfg;
     cfg.refsPerCore =
         static_cast<std::uint64_t>(args.getInt("refs", default_refs));
@@ -64,12 +80,15 @@ configFromArgs(int argc, char** argv, std::int64_t default_refs = 10000)
                 args.has("spans-folded") || args.has("spans-top");
     if (args.has("inject"))
         cfg.faults = FaultSpec::parse(args.getString("inject", ""));
+    cfg.telemetry = telemetryFromArgs(args);
     return cfg;
 }
 
 inline void
 banner(const std::string& title, const RunnerConfig& cfg)
 {
+    if (!logEnabled(LogLevel::Info))
+        return;
     std::cout << "=== " << title << " ===\n"
               << cfg.cores << " cores x " << cfg.refsPerCore
               << " memory references per core (use --refs=N to scale; "
@@ -80,6 +99,17 @@ banner(const std::string& title, const RunnerConfig& cfg)
         std::cout << "shadow-memory oracle ON (--verify-oracle)\n";
     if (cfg.faults.any())
         std::cout << "fault injection: " << cfg.faults.describe() << "\n";
+    if (cfg.telemetry.enabled()) {
+        std::cout << "telemetry every " << cfg.telemetry.intervalTicks
+                  << " ticks";
+        if (!cfg.telemetry.monitorRules.empty())
+            std::cout << ", monitors: " << cfg.telemetry.monitorRules;
+        if (cfg.telemetry.watchdogTicks > 0) {
+            std::cout << ", watchdog " << cfg.telemetry.watchdogTicks
+                      << " ticks";
+        }
+        std::cout << "\n";
+    }
     std::cout << "\n";
 }
 
@@ -128,8 +158,12 @@ runMatrix(const std::vector<SchemeConfig>& schemes,
           const std::vector<WorkloadSpec>& workloads = standardWorkloads())
 {
     const auto t0 = std::chrono::steady_clock::now();
+    // Progress lines go through the logging choke point so --quiet
+    // silences them without touching breach/stall warnings.
     auto results = sdpcm::runMatrix(
         schemes, workloads, cfg, [](const MatrixProgress& p) {
+            if (!logEnabled(LogLevel::Info))
+                return;
             std::fprintf(stderr, "[%3zu/%3zu] %-24s %s\n", p.done,
                          p.total, p.scheme.c_str(), p.workload.c_str());
         });
@@ -137,10 +171,12 @@ runMatrix(const std::vector<SchemeConfig>& schemes,
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();
-    std::fprintf(stderr,
-                 "matrix done: %zu runs, %u jobs, %.2fs wall-clock\n",
-                 schemes.size() * workloads.size(),
-                 resolveJobs(cfg.jobs), seconds);
+    if (logEnabled(LogLevel::Info)) {
+        std::fprintf(stderr,
+                     "matrix done: %zu runs, %u jobs, %.2fs wall-clock\n",
+                     schemes.size() * workloads.size(),
+                     resolveJobs(cfg.jobs), seconds);
+    }
     return results;
 }
 
@@ -171,7 +207,7 @@ maybeWriteReport(const ArgParser& args, const std::string& default_path,
         }
     }
     report.writeFile(path);
-    std::cout << "report written to " << path << "\n";
+    SDPCM_PROGRESS("report written to ", path);
 }
 
 /**

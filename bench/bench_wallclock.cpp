@@ -13,16 +13,19 @@
  * the quick-bench CMake target). --full runs the fig11 7-scheme matrix
  * over all 9 Table 3 workloads.
  *
- * A third serial pass runs with span attribution ON, guarding the
- * recorder's two promises: every pre-existing metric stays bit-identical
- * (spans observe, never perturb), and the spans-off path keeps its
- * speed — pass --baseline=FILE (a previous BENCH_parallel.json) to fail
- * the bench if spans-off serial wall-clock regressed more than 2%.
+ * A third serial pass runs with span attribution ON and a fourth with
+ * streaming telemetry + SLO monitors ON, guarding the observability
+ * promises: every pre-existing metric stays bit-identical (spans and
+ * telemetry observe, never perturb), and the everything-off path keeps
+ * its speed — pass --baseline=FILE (a previous BENCH_parallel.json) to
+ * fail the bench if the observability-off serial wall-clock regressed
+ * more than 2%.
  */
 
 #include <chrono>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "bench_common.hh"
 
@@ -65,12 +68,14 @@ identicalResults(const std::vector<SchemeResults>& a,
 
 /**
  * Every metric of `base` must exist bit-identical in `super` (which may
- * add metrics — the span.* family). Proves the recorder only observes:
- * any simulation perturbation shows up as a changed counter.
+ * add metrics — the span.* / telemetry.* / mon.* families). Proves the
+ * observer only observes: any simulation perturbation shows up as a
+ * changed counter.
  */
 bool
 subsetIdentical(const std::vector<SchemeResults>& base,
-                const std::vector<SchemeResults>& super)
+                const std::vector<SchemeResults>& super,
+                const char* label)
 {
     if (base.size() != super.size())
         return false;
@@ -86,7 +91,7 @@ subsetIdentical(const std::vector<SchemeResults>& base,
             for (const auto& [metric, value] : base_snap.values()) {
                 const auto mv = sup.find(metric);
                 if (mv == sup.end() || mv->second != value) {
-                    SDPCM_WARN("spans-on run perturbed ",
+                    SDPCM_WARN(label, " run perturbed ",
                                base[s].scheme, "/", name, "/", metric);
                     ok = false;
                 }
@@ -150,11 +155,13 @@ main(int argc, char** argv)
     std::cout << schemes.size() << " schemes x " << workloads.size()
               << " workloads\n\n";
 
-    // The harness owns the spans knob: the first two passes are the
-    // spans-off reference pair regardless of --spans.
+    // The harness owns the observability knobs: the first two passes
+    // are the everything-off reference pair regardless of --spans or
+    // --telemetry-* flags.
     RunnerConfig serial_cfg = cfg;
     serial_cfg.jobs = 1;
     serial_cfg.spans = false;
+    serial_cfg.telemetry = TelemetryConfig{};
     std::vector<SchemeResults> serial_results;
     const double serial_s =
         timedMatrix(schemes, workloads, serial_cfg, serial_results);
@@ -162,6 +169,7 @@ main(int argc, char** argv)
     RunnerConfig parallel_cfg = cfg;
     parallel_cfg.jobs = jobs;
     parallel_cfg.spans = false;
+    parallel_cfg.telemetry = TelemetryConfig{};
     std::vector<SchemeResults> parallel_results;
     const double parallel_s =
         timedMatrix(schemes, workloads, parallel_cfg, parallel_results);
@@ -172,19 +180,38 @@ main(int argc, char** argv)
     const double spans_s =
         timedMatrix(schemes, workloads, spans_cfg, spans_results);
 
+    // Telemetry pass: registry polling + windowed sketches + a monitor
+    // rule that never fires, so the whole frame path runs. No stream
+    // file — this times the sampling machinery, not disk I/O.
+    RunnerConfig telem_cfg = serial_cfg;
+    telem_cfg.telemetry.intervalTicks = 100000;
+    telem_cfg.telemetry.monitorRules =
+        "p99r:p99(ctrl.readLatency)<=1000000000";
+    std::vector<SchemeResults> telem_results;
+    const double telem_s =
+        timedMatrix(schemes, workloads, telem_cfg, telem_results);
+
     const bool identical =
         identicalResults(serial_results, parallel_results);
     if (!identical)
         SDPCM_WARN("parallel results differ from serial — determinism "
                    "regression!");
     const bool spans_clean =
-        subsetIdentical(serial_results, spans_results);
+        subsetIdentical(serial_results, spans_results, "spans-on");
     if (!spans_clean)
         SDPCM_WARN("spans-on results differ from spans-off on shared "
                    "metrics — the recorder perturbed the simulation!");
+    const bool telem_clean =
+        subsetIdentical(serial_results, telem_results, "telemetry-on");
+    if (!telem_clean)
+        SDPCM_WARN("telemetry-on results differ from telemetry-off on "
+                   "shared metrics — the sampler perturbed the "
+                   "simulation!");
     const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
     const double spans_overhead =
         serial_s > 0.0 ? spans_s / serial_s - 1.0 : 0.0;
+    const double telem_overhead =
+        serial_s > 0.0 ? telem_s / serial_s - 1.0 : 0.0;
 
     std::cout << "serial   : " << TablePrinter::fmt(serial_s, 3) << " s\n"
               << "parallel : " << TablePrinter::fmt(parallel_s, 3)
@@ -192,9 +219,14 @@ main(int argc, char** argv)
               << "spans-on : " << TablePrinter::fmt(spans_s, 3)
               << " s  serial ("
               << TablePrinter::pct(spans_overhead, 1) << " overhead)\n"
+              << "telem-on : " << TablePrinter::fmt(telem_s, 3)
+              << " s  serial ("
+              << TablePrinter::pct(telem_overhead, 1) << " overhead)\n"
               << "speedup  : " << TablePrinter::fmt(speedup, 2) << "x\n"
               << "identical: " << (identical ? "yes" : "NO") << "\n"
               << "spans obs-only: " << (spans_clean ? "yes" : "NO")
+              << "\n"
+              << "telemetry obs-only: " << (telem_clean ? "yes" : "NO")
               << "\n";
 
     bool baseline_ok = true;
@@ -223,15 +255,20 @@ main(int argc, char** argv)
        << "  \"schemes\": " << schemes.size() << ",\n"
        << "  \"workloads\": " << workloads.size() << ",\n"
        << "  \"jobs\": " << jobs << ",\n"
+       << "  \"host_cores\": " << std::thread::hardware_concurrency()
+       << ",\n"
        << "  \"serial_seconds\": " << serial_s << ",\n"
        << "  \"parallel_seconds\": " << parallel_s << ",\n"
        << "  \"spans_serial_seconds\": " << spans_s << ",\n"
+       << "  \"telemetry_serial_seconds\": " << telem_s << ",\n"
        << "  \"speedup\": " << speedup << ",\n"
        << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
        << "  \"spans_observe_only\": "
-       << (spans_clean ? "true" : "false") << "\n"
+       << (spans_clean ? "true" : "false") << ",\n"
+       << "  \"telemetry_observe_only\": "
+       << (telem_clean ? "true" : "false") << "\n"
        << "}\n";
-    std::cout << "\nwritten to " << out_path << "\n";
+    SDPCM_PROGRESS("written to ", out_path);
 
     maybeWriteSpans(args, spans_cfg, spans_results);
 
@@ -243,11 +280,14 @@ main(int argc, char** argv)
                      {{"serial_seconds", serial_s},
                       {"parallel_seconds", parallel_s},
                       {"spans_serial_seconds", spans_s},
+                      {"telemetry_serial_seconds", telem_s},
                       {"speedup", speedup},
                       {"identical", identical ? 1.0 : 0.0},
-                      {"spans_observe_only", spans_clean ? 1.0 : 0.0}});
+                      {"spans_observe_only", spans_clean ? 1.0 : 0.0},
+                      {"telemetry_observe_only",
+                       telem_clean ? 1.0 : 0.0}});
     const int oracle_rc = checkOracle(cfg, serial_results);
-    if (!identical || !spans_clean || !baseline_ok)
+    if (!identical || !spans_clean || !telem_clean || !baseline_ok)
         return 1;
     return oracle_rc;
 }

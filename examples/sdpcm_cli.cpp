@@ -131,6 +131,32 @@ main(int argc, char** argv)
             "  --spans-top=N     print the top-N phases by critical "
             "cycles to\n"
             "                    stderr (implies --spans)\n"
+            "  --telemetry=FILE  stream JSONL telemetry frames during "
+            "the run\n"
+            "                    (summarise with telemetry_tail)\n"
+            "  --telemetry-interval=N\n"
+            "                    frame interval in ticks (default 100000 "
+            "when any\n"
+            "                    telemetry flag is given)\n"
+            "  --telemetry-prom=FILE\n"
+            "                    dump final Prometheus text exposition\n"
+            "  --telemetry-window=N\n"
+            "                    sliding-window width in frames for "
+            "windowed\n"
+            "                    percentiles (default 8)\n"
+            "  --monitor=RULES   ';'-separated SLO rules, e.g.\n"
+            "                    p99r:p99(ctrl.readLatency)<=30000;"
+            "wq:gauge(ctrl.writeQueued)<=200\n"
+            "                    (see obs/monitor.hh for the grammar); "
+            "breaches\n"
+            "                    print as warnings and land in the "
+            "report\n"
+            "  --watchdog=N      flag a stall when no request retires "
+            "for N\n"
+            "                    ticks while work is pending\n"
+            "  --quiet           silence progress output (warnings, "
+            "breaches and\n"
+            "                    the stats dump still print)\n"
             "  --line-counters   track per-line wear/WD counters\n"
             "  --heatmap=KIND    export a spatial heatmap (implies "
             "--line-counters);\n"
@@ -156,6 +182,9 @@ main(int argc, char** argv)
             "                    maximises PreRead/forwarding races\n";
         return 0;
     }
+
+    if (args.getBool("quiet", false))
+        setLogLevel(LogLevel::Warn);
 
     const std::string workload_name = args.getString("workload", "mcf");
     const std::uint64_t refs =
@@ -196,6 +225,7 @@ main(int argc, char** argv)
     cfg.spans = args.has("spans") || !spans_folded.empty() ||
                 spans_top > 0;
     cfg.verifyOracle = args.getBool("verify-oracle", false);
+    cfg.telemetry = telemetryFromArgs(args);
     if (args.has("inject")) {
         try {
             cfg.faults = FaultSpec::parse(args.getString("inject", ""));
@@ -211,12 +241,16 @@ main(int argc, char** argv)
         // Matrix mode: the scheme over every Table 3 workload, fanned
         // out across --jobs workers with ordered progress on stderr.
         const auto workloads = standardWorkloads();
-        std::cout << "scheme " << scheme.name << ", "
-                  << workloads.size() << " workloads, " << cfg.cores
-                  << " cores x " << refs << " refs, "
-                  << resolveJobs(cfg.jobs) << " jobs\n\n";
+        if (logEnabled(LogLevel::Info)) {
+            std::cout << "scheme " << scheme.name << ", "
+                      << workloads.size() << " workloads, " << cfg.cores
+                      << " cores x " << refs << " refs, "
+                      << resolveJobs(cfg.jobs) << " jobs\n\n";
+        }
         const auto results = runMatrix(
             {scheme}, workloads, cfg, [](const MatrixProgress& p) {
+                if (!logEnabled(LogLevel::Info))
+                    return;
                 std::fprintf(stderr, "[%3zu/%3zu] %s\n", p.done,
                              p.total, p.workload.c_str());
             });
@@ -252,16 +286,15 @@ main(int argc, char** argv)
                 if (!os)
                     SDPCM_FATAL("cannot open ", spans_json);
                 writeSpanBlameJson(os, "sdpcm_cli", entries);
-                std::cout << "span blame written to " << spans_json
-                          << "\n";
+                SDPCM_PROGRESS("span blame written to ", spans_json);
             }
             if (!spans_folded.empty()) {
                 std::ofstream os(spans_folded);
                 if (!os)
                     SDPCM_FATAL("cannot open ", spans_folded);
                 writeFoldedStacks(os, scheme.name, merged);
-                std::cout << "folded stacks written to " << spans_folded
-                          << "\n";
+                SDPCM_PROGRESS("folded stacks written to ",
+                               spans_folded);
             }
             if (spans_top > 0) {
                 printSpanTop(std::cerr, scheme.name + "/all", merged,
@@ -289,17 +322,35 @@ main(int argc, char** argv)
         spec = workloadFromProfile(workload_name);
     }
 
-    std::cout << "scheme " << scheme.name << ", workload " << spec.name
-              << ", " << cfg.cores << " cores x " << refs << " refs";
-    if (cfg.faults.any())
-        std::cout << ", inject " << cfg.faults.describe();
-    std::cout << "\n\n";
+    if (logEnabled(LogLevel::Info)) {
+        std::cout << "scheme " << scheme.name << ", workload "
+                  << spec.name << ", " << cfg.cores << " cores x "
+                  << refs << " refs";
+        if (cfg.faults.any())
+            std::cout << ", inject " << cfg.faults.describe();
+        std::cout << "\n\n";
+    }
     const RunMetrics m = runOne(scheme, spec, cfg);
     m.toSnapshot().dump(std::cout);
 
     if (!cfg.tracePath.empty()) {
-        std::cout << "\ntrace written to " << cfg.tracePath
-                  << " (load in https://ui.perfetto.dev)\n";
+        SDPCM_PROGRESS("trace written to ", cfg.tracePath,
+                       " (load in https://ui.perfetto.dev)");
+    }
+    if (m.telemetry.enabled) {
+        std::cout << "\ntelemetry: " << m.telemetry.frames
+                  << " frames every " << m.telemetry.intervalTicks
+                  << " ticks, " << m.telemetry.breaches
+                  << " SLO breach(es), " << m.telemetry.watchdogStalls
+                  << " watchdog stall(s)\n";
+        if (!cfg.telemetry.path.empty()) {
+            SDPCM_PROGRESS("telemetry stream written to ",
+                           cfg.telemetry.path);
+        }
+        if (!cfg.telemetry.promPath.empty()) {
+            SDPCM_PROGRESS("prometheus exposition written to ",
+                           cfg.telemetry.promPath);
+        }
     }
     if (m.epochs.enabled()) {
         const std::string csv_path = args.getString("epoch-csv", "");
@@ -309,16 +360,16 @@ main(int argc, char** argv)
             if (!os)
                 SDPCM_FATAL("cannot open ", csv_path);
             m.epochs.dumpCsv(os);
-            std::cout << "epoch series (" << m.epochs.samples.size()
-                      << " samples) written to " << csv_path << "\n";
+            SDPCM_PROGRESS("epoch series (", m.epochs.samples.size(),
+                           " samples) written to ", csv_path);
         }
         if (!json_path.empty()) {
             std::ofstream os(json_path);
             if (!os)
                 SDPCM_FATAL("cannot open ", json_path);
             m.epochs.dumpJson(os);
-            std::cout << "epoch series (" << m.epochs.samples.size()
-                      << " samples) written to " << json_path << "\n";
+            SDPCM_PROGRESS("epoch series (", m.epochs.samples.size(),
+                           " samples) written to ", json_path);
         }
         if (csv_path.empty() && json_path.empty()) {
             std::cout << "\n";
@@ -348,17 +399,17 @@ main(int argc, char** argv)
             if (!os)
                 SDPCM_FATAL("cannot open ", csv_path);
             writeHeatmapCsv(map, os);
-            std::cout << "heatmap (" << heatmapKindName(kind) << ", "
-                      << map.banks << " banks x " << map.rowBins
-                      << " row bins x " << map.lines
-                      << " lines) written to " << csv_path << "\n";
+            SDPCM_PROGRESS("heatmap (", heatmapKindName(kind), ", ",
+                           map.banks, " banks x ", map.rowBins,
+                           " row bins x ", map.lines,
+                           " lines) written to ", csv_path);
         }
         if (!pgm_path.empty()) {
             std::ofstream os(pgm_path);
             if (!os)
                 SDPCM_FATAL("cannot open ", pgm_path);
             writeHeatmapPgm(map, os);
-            std::cout << "heatmap image written to " << pgm_path << "\n";
+            SDPCM_PROGRESS("heatmap image written to ", pgm_path);
         }
     }
     if (cfg.spans) {
@@ -369,15 +420,14 @@ main(int argc, char** argv)
             writeSpanBlameJson(os, "sdpcm_cli",
                                {SpanBlameEntry{m.scheme, m.workload,
                                                &m.spans}});
-            std::cout << "span blame written to " << spans_json << "\n";
+            SDPCM_PROGRESS("span blame written to ", spans_json);
         }
         if (!spans_folded.empty()) {
             std::ofstream os(spans_folded);
             if (!os)
                 SDPCM_FATAL("cannot open ", spans_folded);
             writeFoldedStacks(os, scheme.name, m.spans);
-            std::cout << "folded stacks written to " << spans_folded
-                      << "\n";
+            SDPCM_PROGRESS("folded stacks written to ", spans_folded);
         }
         if (spans_top > 0) {
             printSpanTop(std::cerr, scheme.name + "/" + spec.name,
@@ -391,7 +441,7 @@ main(int argc, char** argv)
         report.config = cfg;
         report.addRun(m);
         report.writeFile(report_path);
-        std::cout << "report written to " << report_path << "\n";
+        SDPCM_PROGRESS("report written to ", report_path);
     }
     if (m.oracle.enabled) {
         std::cout << "\noracle: " << m.oracle.mismatches

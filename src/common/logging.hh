@@ -16,6 +16,31 @@
 
 namespace sdpcm {
 
+/**
+ * Output verbosity. The single choke point for every status line the
+ * library and its frontends print:
+ *
+ *  - Error: panics/fatals only (always printed — they end the process).
+ *  - Warn: SDPCM_WARN. This is the floor `--quiet` maps to, so alerts
+ *    that must never be silenced (SLO monitor breaches, watchdog
+ *    stalls, oracle mismatches) are emitted at Warn.
+ *  - Info: SDPCM_INFORM and bench/CLI progress lines (SDPCM_PROGRESS,
+ *    banners, per-cell matrix completion lines). The default.
+ */
+enum class LogLevel
+{
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+};
+
+/** Set the global verbosity (frontends map --quiet to Warn). */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** True when messages of `level` should be printed. */
+bool logEnabled(LogLevel level);
+
 namespace detail {
 
 /** Stream-compose a message from a variadic pack. */
@@ -32,6 +57,7 @@ composeMessage(Args&&... args)
 [[noreturn]] void fatalImpl(const char* file, int line, const std::string& msg);
 void warnImpl(const std::string& msg);
 void informImpl(const std::string& msg);
+void progressImpl(const std::string& msg);
 
 } // namespace detail
 
@@ -58,6 +84,13 @@ void informImpl(const std::string& msg);
 /** Report normal operating status. */
 #define SDPCM_INFORM(...) \
     ::sdpcm::detail::informImpl(::sdpcm::detail::composeMessage(__VA_ARGS__))
+
+/**
+ * Bench/CLI progress line (stderr, no prefix, Info level): per-cell
+ * matrix completions and similar chatter `--quiet` is meant to silence.
+ */
+#define SDPCM_PROGRESS(...) \
+    ::sdpcm::detail::progressImpl(::sdpcm::detail::composeMessage(__VA_ARGS__))
 
 /** Panic if a runtime invariant does not hold. */
 #define SDPCM_ASSERT(cond, ...) \

@@ -107,6 +107,31 @@ QuantileSketch::merge(const QuantileSketch& other)
     count_ += other.count_;
 }
 
+QuantileSketch
+QuantileSketch::diff(const QuantileSketch& earlier) const
+{
+    SDPCM_ASSERT(count_ >= earlier.count_,
+                 "sketch diff against a later snapshot");
+    QuantileSketch d;
+    for (unsigned i = 0; i < kNumBuckets; ++i) {
+        SDPCM_ASSERT(counts_[i] >= earlier.counts_[i],
+                     "sketch bucket shrank between snapshots");
+        d.counts_[i] = counts_[i] - earlier.counts_[i];
+    }
+    d.count_ = count_ - earlier.count_;
+    return d;
+}
+
+std::uint64_t
+QuantileSketch::countAbove(std::uint64_t threshold) const
+{
+    const unsigned first = bucketIndex(threshold) + 1;
+    std::uint64_t n = 0;
+    for (unsigned i = first; i < kNumBuckets; ++i)
+        n += counts_[i];
+    return n;
+}
+
 double
 StatSnapshot::get(const std::string& name) const
 {

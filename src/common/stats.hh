@@ -169,6 +169,23 @@ class QuantileSketch
 
     void merge(const QuantileSketch& other);
 
+    /**
+     * Sketch of the samples recorded in *this but not in `earlier`.
+     * `earlier` must be a previous snapshot of the same sketch (every
+     * bucket monotonically <= ours; asserted). This is what windowed
+     * telemetry views are built from: cumulative snapshots subtract into
+     * per-epoch deltas that merge back losslessly.
+     */
+    QuantileSketch diff(const QuantileSketch& earlier) const;
+
+    /**
+     * Samples with value above `threshold`, at bucket granularity: the
+     * count of all buckets entirely above the threshold's bucket, so the
+     * result inherits the sketch's <= 6.25% relative error (error-budget
+     * burn-rate monitors, tail fractions).
+     */
+    std::uint64_t countAbove(std::uint64_t threshold) const;
+
     void
     reset()
     {

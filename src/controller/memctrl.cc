@@ -334,6 +334,15 @@ MemoryController::pendingWrites() const
     return n;
 }
 
+std::uint64_t
+MemoryController::inFlightWrites() const
+{
+    std::uint64_t n = 0;
+    for (const auto& b : banks_)
+        n += b.active ? 1 : 0;
+    return n;
+}
+
 std::size_t
 MemoryController::readQueueDepth(unsigned bank) const
 {

@@ -172,6 +172,9 @@ class MemoryController
     /** Pending writes across all banks (drain diagnostics). */
     std::uint64_t pendingWrites() const;
 
+    /** Banks currently mid write service (telemetry gauge). */
+    std::uint64_t inFlightWrites() const;
+
   private:
     /** Bank-op categories for cycle attribution. */
     enum class OpKind

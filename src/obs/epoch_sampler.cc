@@ -158,8 +158,8 @@ void
 EpochSampler::start()
 {
     prev_ = capture(ctrl_.stats());
-    events_.setTickHook(series_.epochTicks,
-                        [this](Tick now) { takeSample(now); });
+    hookId_ = events_.addTickHook(series_.epochTicks,
+                                  [this](Tick now) { takeSample(now); });
 }
 
 void
@@ -168,11 +168,15 @@ EpochSampler::finalize()
     if (finalized_)
         return;
     finalized_ = true;
-    events_.setTickHook(0, {});
+    events_.removeTickHook(hookId_);
     // Capture the tail partial epoch (activity since the last boundary).
+    // A boundary-tick hook polls before that tick's events run, so a
+    // run ending exactly on a boundary can retire work after the last
+    // in-run sample; compare the cumulative state too, not just ticks.
     const Tick last = series_.samples.empty()
         ? 0 : series_.samples.back().tick;
-    if (events_.now() > last || series_.samples.empty())
+    if (events_.now() > last || series_.samples.empty() ||
+        !(capture(ctrl_.stats()) == prev_))
         takeSample(events_.now());
 }
 

@@ -117,6 +117,8 @@ class EpochSampler
         std::uint64_t cyclesVerify = 0;
         std::uint64_t cyclesCorrection = 0;
         std::uint64_t cyclesEcp = 0;
+
+        bool operator==(const Counters&) const = default;
     };
 
     static Counters capture(const CtrlStats& stats);
@@ -127,6 +129,7 @@ class EpochSampler
     TraceSink* trace_;
     EpochSeries series_;
     Counters prev_;
+    std::size_t hookId_ = 0;
     bool finalized_ = false;
 };
 

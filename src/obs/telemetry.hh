@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Streaming telemetry: the live-signal backbone of a run.
+ *
+ * Every observability surface before this one (reports, span blame,
+ * heatmaps) is end-of-run; telemetry is what the system looks like
+ * *while* it runs. A MetricRegistry names the signals a simulation
+ * publishes — cumulative counters, instantaneous gauges and latency
+ * distributions — as poll functions over the components' existing Stats
+ * structs, so publishing costs nothing on the hot path: nothing is
+ * touched until a frame boundary, and a disabled registry is simply
+ * never constructed (the same absent-when-off idiom as TraceSink /
+ * SpanRecorder).
+ *
+ * The TelemetrySampler rides an EventQueue tick hook: every
+ * `intervalTicks` it polls the registry, forms counter *deltas* since
+ * the previous frame, snapshots gauges, and maintains a ring-of-epochs
+ * windowed view of each latency sketch (cumulative QuantileSketch
+ * snapshots subtract into per-frame deltas; the last `windowFrames`
+ * deltas merge into the sliding window the SLO monitors read p99s
+ * from). Frames stream to a JSONL file as the run progresses, and a
+ * Prometheus text-exposition dump of the final cumulative state can be
+ * written for future scrape-based serving.
+ *
+ * Telescoping invariant (tested, asserted at finalize): summing a
+ * counter's frame deltas over all frames — including the final partial
+ * frame — reproduces the end-of-run cumulative value exactly, and those
+ * totals must bit-match the corresponding run-report metrics
+ * (System::metrics cross-checks them). Deltas are emitted signed: a
+ * write cancellation can refund busy-cycles, making an individual frame
+ * delta negative; the unsigned wrap-sum still telescopes exactly.
+ */
+
+#ifndef SDPCM_OBS_TELEMETRY_HH
+#define SDPCM_OBS_TELEMETRY_HH
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "obs/trace_sink.hh"
+#include "sim/event_queue.hh"
+
+namespace sdpcm {
+
+class ArgParser;
+class MonitorSet;
+class Watchdog;
+
+/** Telemetry knobs (all off by default: zero-overhead fast path). */
+struct TelemetryConfig
+{
+    /** Frame interval in ticks; 0 disables telemetry entirely. */
+    Tick intervalTicks = 0;
+    /** Stream JSONL frames to this path ("" = no stream file). */
+    std::string path;
+    /** Prometheus text-exposition dump of the final state ("" = none). */
+    std::string promPath;
+    /** Sliding-window width for latency percentiles, in frames. */
+    unsigned windowFrames = 8;
+    /** ';'-separated SLO monitor rules (obs/monitor.hh grammar). */
+    std::string monitorRules;
+    /** Forward-progress watchdog window in ticks (0 = off): flag the
+     *  run as stalled when no request retires for this long while work
+     *  is pending. */
+    Tick watchdogTicks = 0;
+
+    bool enabled() const { return intervalTicks > 0; }
+};
+
+/**
+ * Shared frontend parsing (CLI and benches): --telemetry=FILE,
+ * --telemetry-interval=N, --telemetry-prom=FILE, --telemetry-window=N,
+ * --monitor=RULES, --watchdog=N. Passing any telemetry flag without an
+ * explicit interval enables sampling at a default interval. Monitor
+ * rules are validated here (fail-fast before any simulation runs);
+ * SDPCM_FATAL on a malformed spec.
+ */
+TelemetryConfig telemetryFromArgs(const ArgParser& args);
+
+/**
+ * Named signals of one simulation instance. Deliberately per-instance,
+ * not process-global (experiments run many Systems per process); the
+ * System wires its components in at construction.
+ */
+class MetricRegistry
+{
+  public:
+    using Poll = std::function<std::uint64_t()>;
+
+    struct Counter
+    {
+        std::string name;
+        Poll poll; //!< cumulative value (wrap-telescoping, may refund)
+    };
+    struct Gauge
+    {
+        std::string name;
+        Poll poll; //!< instantaneous value at the frame boundary
+    };
+    struct Latency
+    {
+        std::string name;
+        /** Not owned; must outlive the registry (a component's stat). */
+        const LatencyStat* stat = nullptr;
+    };
+
+    /** Counter names match their run-report metric keys exactly — that
+     *  identity is what the final-frame/report cross-check rests on. */
+    void addCounter(const std::string& name, Poll poll);
+    void addGauge(const std::string& name, Poll poll);
+    void addLatency(const std::string& name, const LatencyStat* stat);
+
+    const std::vector<Counter>& counters() const { return counters_; }
+    const std::vector<Gauge>& gauges() const { return gauges_; }
+    const std::vector<Latency>& latencies() const { return latencies_; }
+
+    bool hasGauge(const std::string& name) const;
+    bool hasLatency(const std::string& name) const;
+
+  private:
+    std::vector<Counter> counters_;
+    std::vector<Gauge> gauges_;
+    std::vector<Latency> latencies_;
+};
+
+/** Sliding-window view over one latency metric (monitor input). */
+struct WindowView
+{
+    std::uint64_t count = 0; //!< samples inside the window
+    /** Merged window sketch; never null while the frame is live. */
+    const QuantileSketch* sketch = nullptr;
+
+    double
+    percentile(double q) const
+    {
+        return sketch ? sketch->percentile(q) : 0.0;
+    }
+};
+
+/** One frame's worth of polled state, as the monitors see it. */
+struct FrameData
+{
+    Tick tick = 0;
+    std::uint64_t seq = 0; //!< frame index, 0-based
+    Tick intervalTicks = 0;
+    std::map<std::string, std::int64_t> counterDeltas;
+    std::map<std::string, std::uint64_t> gauges;
+    std::map<std::string, WindowView> windows;
+};
+
+/** End-of-run telemetry aggregates (carried by RunMetrics). */
+struct TelemetrySummary
+{
+    bool enabled = false;
+    Tick intervalTicks = 0;
+    std::uint64_t frames = 0;
+    /** Wrap-sum of frame deltas per counter; bit-matches the final
+     *  cumulative poll (asserted) and the run report (cross-checked). */
+    std::map<std::string, std::uint64_t> counterTotals;
+    std::uint64_t breaches = 0; //!< SLO monitor breaches, all rules
+    std::map<std::string, std::uint64_t> breachesByRule;
+    /** Worst observed value per rule (most violating direction). */
+    std::map<std::string, double> worstByRule;
+    std::uint64_t watchdogStalls = 0;
+};
+
+/**
+ * Polls the registry every frame interval via an EventQueue tick hook,
+ * streams JSONL frames, evaluates SLO monitors and the forward-progress
+ * watchdog, and dumps Prometheus text exposition at finalize.
+ */
+class TelemetrySampler
+{
+  public:
+    /**
+     * @param registry the fully wired registry (moved in).
+     * @param scheme / @param workload label the stream (meta line,
+     *        Prometheus labels).
+     * @param sink optional: mirror breach/stall instants into the trace.
+     * Throws std::invalid_argument on a malformed monitor rule spec.
+     */
+    TelemetrySampler(EventQueue& events, MetricRegistry registry,
+                     const TelemetryConfig& cfg,
+                     const std::string& scheme,
+                     const std::string& workload,
+                     TraceSink* sink = nullptr);
+    ~TelemetrySampler();
+
+    /**
+     * Attach the forward-progress watchdog (the System builds it — it
+     * owns the retirement/pending polls). Call before start().
+     */
+    void setWatchdog(std::unique_ptr<Watchdog> watchdog);
+
+    /** Install the tick hook and emit the meta line; call once. */
+    void start();
+
+    /**
+     * Capture the final partial frame, emit the summary line, dump the
+     * Prometheus file, and assert the telescoping invariant. Call after
+     * the run drains (idempotent).
+     */
+    void finalize();
+
+    const TelemetrySummary& summary() const { return summary_; }
+
+  private:
+    /** Per-latency windowed state: ring of per-frame delta sketches. */
+    struct LatencyWindow
+    {
+        QuantileSketch prevCum;          //!< cumulative at last frame
+        std::vector<QuantileSketch> ring; //!< last windowFrames deltas
+        QuantileSketch window;            //!< merge of the ring (scratch)
+    };
+
+    /** True when a counter or latency moved since the last frame poll
+     *  (a boundary-tick event retiring after the hook fired). */
+    bool unobservedActivity() const;
+
+    void takeFrame(Tick now);
+    void writeMeta();
+    void writeFrame(const FrameData& fd);
+    void writeSummaryLine(Tick now);
+    void writePromFile();
+
+    EventQueue& events_;
+    MetricRegistry registry_;
+    TelemetryConfig cfg_;
+    std::string scheme_;
+    std::string workload_;
+    TraceSink* trace_;
+
+    std::ofstream stream_;           //!< open iff cfg_.path non-empty
+    std::vector<std::uint64_t> prevCounters_;
+    std::vector<std::uint64_t> counterTotals_; //!< wrap-sum of deltas
+    std::vector<LatencyWindow> windows_;
+    std::unique_ptr<MonitorSet> monitors_; //!< null when no rules
+    std::unique_ptr<Watchdog> watchdog_;   //!< null when off
+    /** Rules already warned about (first breach warns; the rest stream
+     *  silently to JSONL/trace, with a per-rule summary at finalize). */
+    std::set<std::string> warnedRules_;
+    TelemetrySummary summary_;
+    Tick lastFrameTick_ = 0;
+    std::size_t hookId_ = 0;
+    bool started_ = false;
+    bool finalized_ = false;
+};
+
+} // namespace sdpcm
+
+#endif // SDPCM_OBS_TELEMETRY_HH

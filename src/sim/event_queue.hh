@@ -48,18 +48,35 @@ class EventQueue
     /**
      * Install a periodic observation hook: `hook(now)` runs before the
      * first event at or after each multiple of `interval` ticks (epoch
-     * samplers, watchdogs). Unlike a self-rescheduling event, the hook
-     * never keeps the queue alive, so a drained queue still ends the
-     * run. The hook observes state only — it must not schedule events.
-     * An interval of 0 uninstalls.
+     * samplers, telemetry frames, watchdogs). Unlike a self-rescheduling
+     * event, a hook never keeps the queue alive, so a drained queue
+     * still ends the run. Hooks observe state only — they must not
+     * schedule events. Several hooks with independent intervals may be
+     * installed; when one tick crosses multiple boundaries the due hooks
+     * fire in installation order (deterministic). @return a hook id for
+     * removeTickHook().
      */
-    void
-    setTickHook(Tick interval, std::function<void(Tick)> hook)
+    std::size_t
+    addTickHook(Tick interval, std::function<void(Tick)> hook)
     {
-        hookInterval_ = interval;
-        hook_ = std::move(hook);
-        nextHookTick_ = interval
-            ? (now_ / interval + 1) * interval : ~Tick(0);
+        SDPCM_ASSERT(interval > 0, "tick-hook interval must be positive");
+        Hook h;
+        h.interval = interval;
+        h.next = (now_ / interval + 1) * interval;
+        h.fn = std::move(hook);
+        hooks_.push_back(std::move(h));
+        recomputeNextHookTick();
+        return hooks_.size() - 1;
+    }
+
+    /** Uninstall a hook by the id addTickHook() returned. */
+    void
+    removeTickHook(std::size_t id)
+    {
+        SDPCM_ASSERT(id < hooks_.size(), "unknown tick-hook id ", id);
+        hooks_[id].fn = nullptr;
+        hooks_[id].next = ~Tick(0);
+        recomputeNextHookTick();
     }
 
     /** Pop and run the earliest event. @return false if queue is empty. */
@@ -74,8 +91,13 @@ class EventQueue
         heap_.pop();
         now_ = ev.when;
         if (now_ >= nextHookTick_) {
-            hook_(now_);
-            nextHookTick_ = (now_ / hookInterval_ + 1) * hookInterval_;
+            for (Hook& h : hooks_) {
+                if (h.fn && now_ >= h.next) {
+                    h.fn(now_);
+                    h.next = (now_ / h.interval + 1) * h.interval;
+                }
+            }
+            recomputeNextHookTick();
         }
         processed_ += 1;
         ev.cb();
@@ -106,13 +128,29 @@ class EventQueue
         }
     };
 
+    struct Hook
+    {
+        Tick interval = 0;
+        Tick next = ~Tick(0);
+        std::function<void(Tick)> fn;
+    };
+
+    void
+    recomputeNextHookTick()
+    {
+        nextHookTick_ = ~Tick(0);
+        for (const Hook& h : hooks_) {
+            if (h.fn && h.next < nextHookTick_)
+                nextHookTick_ = h.next;
+        }
+    }
+
     std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t processed_ = 0;
-    Tick hookInterval_ = 0;
     Tick nextHookTick_ = ~Tick(0);
-    std::function<void(Tick)> hook_;
+    std::vector<Hook> hooks_;
 };
 
 } // namespace sdpcm

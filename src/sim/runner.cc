@@ -43,6 +43,7 @@ runOne(const SchemeConfig& scheme, const WorkloadSpec& workload,
     sc.epochTicks = cfg.epochTicks;
     sc.lineCounters = cfg.lineCounters;
     sc.spans = cfg.spans;
+    sc.telemetry = cfg.telemetry;
     sc.verifyOracle = cfg.verifyOracle;
     sc.faults = cfg.faults;
     System system(sc, workload);
@@ -62,6 +63,15 @@ runMatrix(const std::vector<SchemeConfig>& schemes,
                    "): concurrent cells would overwrite one file; use "
                    "runOne for traced runs");
         cell_cfg.tracePath.clear();
+    }
+    if (!cell_cfg.telemetry.path.empty() ||
+        !cell_cfg.telemetry.promPath.empty()) {
+        SDPCM_WARN("matrix runs ignore telemetry stream/prom paths: "
+                   "concurrent cells would overwrite one file; use "
+                   "runOne for streamed telemetry (monitor rules and "
+                   "the watchdog still run per cell)");
+        cell_cfg.telemetry.path.clear();
+        cell_cfg.telemetry.promPath.clear();
     }
 
     const std::size_t n_workloads = workloads.size();

@@ -50,6 +50,11 @@ struct RunnerConfig
     bool lineCounters = false;
     /** Per-request span attribution (RunMetrics::spans). */
     bool spans = false;
+    /** Streaming telemetry + SLO monitors (see TelemetryConfig). The
+     *  stream/prom paths apply to single runs only; matrix runs drop
+     *  them (one file, many cells) but keep interval/rules/watchdog so
+     *  mon.* metrics stay per-cell. */
+    TelemetryConfig telemetry;
 
     // Verification passthrough (see SystemConfig).
     bool verifyOracle = false;

@@ -1,10 +1,89 @@
 #include "sim/system.hh"
 
+#include <algorithm>
 #include <iostream>
 
+#include "obs/monitor.hh"
 #include "workload/generators.hh"
 
 namespace sdpcm {
+
+namespace {
+
+/**
+ * Publish the system's signals into a telemetry registry. Counter names
+ * are the exact run-report snapshot keys — RunMetrics::toSnapshot and
+ * the telemetry cross-check both depend on that identity.
+ */
+MetricRegistry
+buildRegistry(const MemoryController& ctrl, const PcmDevice& device)
+{
+    MetricRegistry reg;
+    const CtrlStats& cs = ctrl.stats();
+    const auto ctr = [&reg](const char* name,
+                            const std::uint64_t& field) {
+        reg.addCounter(name, [&field] { return field; });
+    };
+    ctr("ctrl.readsServiced", cs.readsServiced);
+    ctr("ctrl.readsForwarded", cs.readsForwarded);
+    ctr("ctrl.writesAccepted", cs.writesAccepted);
+    ctr("ctrl.writesCoalesced", cs.writesCoalesced);
+    ctr("ctrl.writesCompleted", cs.writesCompleted);
+    ctr("ctrl.writeDrains", cs.writeDrains);
+    ctr("ctrl.preReadsIssued", cs.preReadsIssued);
+    ctr("ctrl.verifyReads", cs.verifyReads);
+    ctr("ctrl.ecpUpdates", cs.ecpUpdates);
+    ctr("ctrl.correctionWrites", cs.correctionWrites);
+    ctr("ctrl.cascadeVerifies", cs.cascadeVerifies);
+    ctr("ctrl.writeCancellations", cs.writeCancellations);
+    ctr("ctrl.cancelStallCycles", cs.cancelStallCycles);
+    ctr("ctrl.cycles.read", cs.cyclesRead);
+    ctr("ctrl.cycles.preRead", cs.cyclesPreRead);
+    ctr("ctrl.cycles.write", cs.cyclesWrite);
+    ctr("ctrl.cycles.verify", cs.cyclesVerify);
+    ctr("ctrl.cycles.correction", cs.cyclesCorrection);
+    ctr("ctrl.cycles.ecp", cs.cyclesEcp);
+
+    const DeviceStats& ds = device.stats();
+    ctr("device.lineReads", ds.lineReads);
+    ctr("device.lineWrites", ds.lineWrites);
+    ctr("device.wlDisturbances", ds.wlDisturbances);
+    ctr("device.blDisturbances", ds.blDisturbances);
+    ctr("device.ecpWdRecorded", ds.ecpWdRecorded);
+    ctr("device.ecpOverflows", ds.ecpOverflows);
+    ctr("device.hardErrors", ds.hardErrors);
+
+    reg.addGauge("ctrl.readQueued", [&ctrl] {
+        std::uint64_t n = 0;
+        for (unsigned b = 0; b < ctrl.numBanks(); ++b)
+            n += ctrl.readQueueDepth(b);
+        return n;
+    });
+    reg.addGauge("ctrl.writeQueued", [&ctrl] {
+        std::uint64_t n = 0;
+        for (unsigned b = 0; b < ctrl.numBanks(); ++b)
+            n += ctrl.writeQueueDepth(b);
+        return n;
+    });
+    reg.addGauge("ctrl.maxBankWriteQueue", [&ctrl] {
+        std::uint64_t peak = 0;
+        for (unsigned b = 0; b < ctrl.numBanks(); ++b) {
+            peak = std::max<std::uint64_t>(peak,
+                                           ctrl.writeQueueDepth(b));
+        }
+        return peak;
+    });
+    reg.addGauge("ctrl.pendingCorrections",
+                 [&ctrl] { return ctrl.pendingCorrections(); });
+    reg.addGauge("ctrl.inFlightWrites",
+                 [&ctrl] { return ctrl.inFlightWrites(); });
+
+    reg.addLatency("ctrl.readLatency", &cs.readLatency);
+    reg.addLatency("ctrl.writeServiceLatency", &cs.writeServiceLatency);
+    return reg;
+}
+
+} // namespace
 
 WorkloadSpec
 workloadFromProfile(const std::string& profile_name)
@@ -109,6 +188,23 @@ System::System(const SystemConfig& config, const WorkloadSpec& workload)
         spanRecorder_ = std::make_unique<SpanRecorder>();
         ctrl_->setSpanRecorder(spanRecorder_.get());
     }
+    if (config_.telemetry.enabled()) {
+        telemetrySampler_ = std::make_unique<TelemetrySampler>(
+            events_, buildRegistry(*ctrl_, *device_), config_.telemetry,
+            config_.scheme.name, workload_.name, traceSink_.get());
+        if (config_.telemetry.watchdogTicks > 0) {
+            // The System builds the watchdog: it owns the notion of
+            // "retired" (reads serviced + writes completed) and
+            // "pending" (controller not quiescent).
+            telemetrySampler_->setWatchdog(std::make_unique<Watchdog>(
+                config_.telemetry.watchdogTicks,
+                [c = ctrl_.get()] {
+                    return c->stats().readsServiced +
+                           c->stats().writesCompleted;
+                },
+                [c = ctrl_.get()] { return !c->quiescent(); }));
+        }
+    }
 
     for (unsigned c = 0; c < config_.cores; ++c) {
         mmus_.push_back(std::make_unique<Mmu>(
@@ -126,11 +222,17 @@ System::run()
 {
     if (epochSampler_)
         epochSampler_->start();
+    if (telemetrySampler_)
+        telemetrySampler_->start();
     for (auto& core : cores_)
         core->start();
     events_.run(config_.maxTicks);
     if (epochSampler_)
         epochSampler_->finalize();
+    // Before the trace closes: the final partial frame may still emit
+    // breach/stall instants into the trace.
+    if (telemetrySampler_)
+        telemetrySampler_->finalize();
     // Final drain-state audit before the trace closes, so mismatch
     // instants still land in the trace file.
     if (oracle_) {
@@ -284,6 +386,20 @@ RunMetrics::toSnapshot() const
 
     addSpanMetrics(s, spans);
 
+    if (telemetry.enabled) {
+        s.set("telemetry.intervalTicks",
+              static_cast<double>(telemetry.intervalTicks));
+        s.set("telemetry.frames", static_cast<double>(telemetry.frames));
+        s.set("mon.breaches", static_cast<double>(telemetry.breaches));
+        s.set("mon.watchdogStalls",
+              static_cast<double>(telemetry.watchdogStalls));
+        for (const auto& [rule, n] : telemetry.breachesByRule) {
+            s.set("mon." + rule + ".breaches", static_cast<double>(n));
+        }
+        for (const auto& [rule, worst] : telemetry.worstByRule)
+            s.set("mon." + rule + ".worst", worst);
+    }
+
     if (epochs.enabled()) {
         s.set("epoch.ticks", static_cast<double>(epochs.epochTicks));
         s.set("epoch.samples",
@@ -327,6 +443,22 @@ System::metrics() const
                          m.ctrl.cancelStallCycles,
                      "span CancelStall total diverged from the "
                      "controller counter");
+    }
+    if (telemetrySampler_) {
+        m.telemetry = telemetrySampler_->summary();
+        // Hard cross-check: every telemetry counter total (the wrap-sum
+        // of frame deltas) must bit-match the run report under the same
+        // name — frames and report are two paths to one truth.
+        const StatSnapshot snap = m.toSnapshot();
+        for (const auto& [name, total] : m.telemetry.counterTotals) {
+            SDPCM_ASSERT(snap.has(name),
+                         "telemetry counter '", name,
+                         "' missing from the run report");
+            SDPCM_ASSERT(snap.get(name) == static_cast<double>(total),
+                         "telemetry total for '", name, "' (", total,
+                         ") diverged from the run report (",
+                         snap.get(name), ")");
+        }
     }
     return m;
 }

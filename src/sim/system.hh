@@ -15,6 +15,7 @@
 #include "controller/memctrl.hh"
 #include "cpu/core.hh"
 #include "obs/epoch_sampler.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace_sink.hh"
 #include "os/buddy.hh"
 #include "os/page_table.hh"
@@ -66,6 +67,9 @@ struct SystemConfig
     bool lineCounters = false;
     /** Per-request span attribution (obs/spans.hh). */
     bool spans = false;
+    /** Streaming telemetry + SLO monitors (obs/telemetry.hh); disabled
+     *  unless telemetry.intervalTicks > 0. */
+    TelemetryConfig telemetry;
 
     // --- Verification (both default off: zero-overhead fast path). ---
     /** Shadow-memory integrity oracle (see verify/oracle.hh). */
@@ -91,6 +95,8 @@ struct RunMetrics
     OracleSummary oracle;
     /** Per-phase blame; `enabled` false unless spans was on. */
     SpanSummary spans;
+    /** Telemetry aggregates; `enabled` false unless telemetry was on. */
+    TelemetrySummary telemetry;
 
     /** Correction writes per completed data write (Figure 12). */
     double
@@ -134,6 +140,8 @@ class System
     ShadowOracle* oracle() { return oracle_.get(); }
     /** The span recorder, or null when --spans is off. */
     SpanRecorder* spanRecorder() { return spanRecorder_.get(); }
+    /** The telemetry sampler, or null when --telemetry-interval is off. */
+    TelemetrySampler* telemetry() { return telemetrySampler_.get(); }
     const WdModel& wdModel() const { return wdModel_; }
     const std::vector<std::unique_ptr<TraceCore>>& cores() const
     {
@@ -156,6 +164,7 @@ class System
     std::unique_ptr<FaultInjector> faultInjector_;
     std::unique_ptr<ShadowOracle> oracle_;
     std::unique_ptr<SpanRecorder> spanRecorder_;
+    std::unique_ptr<TelemetrySampler> telemetrySampler_;
     std::unique_ptr<PageAllocatorSystem> allocator_;
     std::vector<std::unique_ptr<Mmu>> mmus_;
     std::vector<std::unique_ptr<TraceStream>> streams_;

@@ -514,13 +514,39 @@ TEST(EventQueue, TickHookFiresOnBoundariesAndStopsWithQueue)
 {
     EventQueue q;
     std::vector<Tick> hook_ticks;
-    q.setTickHook(10, [&](Tick t) { hook_ticks.push_back(t); });
+    q.addTickHook(10, [&](Tick t) { hook_ticks.push_back(t); });
     for (Tick t : {3u, 9u, 12u, 25u, 26u, 40u})
         q.schedule(t, [] {});
     q.run();
     // Fires at the first event at-or-after each boundary it crosses.
     EXPECT_EQ(hook_ticks, (std::vector<Tick>{12, 25, 40}));
     EXPECT_EQ(q.now(), 40u);
+}
+
+/** Hooks with independent intervals coexist; removal leaves the rest. */
+TEST(EventQueue, MultipleTickHooksFireIndependently)
+{
+    EventQueue q;
+    std::vector<Tick> tens, sevens;
+    const std::size_t ten_id =
+        q.addTickHook(10, [&](Tick t) { tens.push_back(t); });
+    q.addTickHook(7, [&](Tick t) { sevens.push_back(t); });
+    for (Tick t : {5u, 8u, 14u, 21u, 30u})
+        q.schedule(t, [] {});
+    q.run();
+    // 10-hook boundaries 10,20,30 -> first events at 14, 21, 30;
+    // 7-hook boundaries 7,14,21,28 -> first events at 8, 14, 21, 30.
+    EXPECT_EQ(tens, (std::vector<Tick>{14, 21, 30}));
+    EXPECT_EQ(sevens, (std::vector<Tick>{8, 14, 21, 30}));
+
+    q.removeTickHook(ten_id);
+    tens.clear();
+    sevens.clear();
+    for (Tick t : {36u, 50u})
+        q.schedule(t, [] {});
+    q.run();
+    EXPECT_TRUE(tens.empty());
+    EXPECT_EQ(sevens, (std::vector<Tick>{36, 50}));
 }
 
 // ---------------------------------------------------------------------
