@@ -38,6 +38,13 @@
  *              dump Prometheus text exposition — single runs only;
  *              matrix benches drop the paths with a warning (rules and
  *              the watchdog still run per cell).
+ *   --wd-ledger[=FILE]  disturbance-provenance ledger on every cell
+ *              (obs/ledger.hh); wd.* metrics land in the report and the
+ *              optional FILE gets the aggregated per-scheme JSON export.
+ *   --wd-top=N  print each scheme's top-N aggressor lines by victim
+ *              flips to stderr (implies --wd-ledger).
+ *   --endurance=F  per-cell write endurance used for the projected
+ *              lifetime estimate (default 1e8).
  *   --quiet    silence banner and progress lines (LogLevel::Warn).
  *              Monitor breach and watchdog warnings still print.
  */
@@ -81,6 +88,8 @@ configFromArgs(int argc, char** argv, std::int64_t default_refs = 10000)
     if (args.has("inject"))
         cfg.faults = FaultSpec::parse(args.getString("inject", ""));
     cfg.telemetry = telemetryFromArgs(args);
+    cfg.wdLedger = args.has("wd-ledger") || args.has("wd-top");
+    cfg.enduranceCellWrites = args.getDouble("endurance", 1e8);
     return cfg;
 }
 
@@ -248,6 +257,44 @@ maybeWriteSpans(const ArgParser& args, const RunnerConfig& cfg,
                      folded_path);
         std::cout << "folded stacks written to " << folded_path << "\n";
     }
+}
+
+/**
+ * Provenance-ledger outputs for a finished matrix: the per-scheme
+ * aggregated ledger JSON to --wd-ledger=FILE (bare --wd-ledger keeps the
+ * ledger on without a file) and a per-scheme top-N aggressor table on
+ * stderr for --wd-top=N. No-op when the ledger was off.
+ */
+inline void
+maybeWriteWdLedger(const ArgParser& args, const std::string& bench_name,
+                   const RunnerConfig& cfg,
+                   const std::vector<SchemeResults>& results)
+{
+    if (!cfg.wdLedger)
+        return;
+    const std::string path = args.getString("wd-ledger", "");
+    const unsigned top_n = static_cast<unsigned>(args.getInt("wd-top", 0));
+    // Merged summaries must outlive the entry pointers handed to the
+    // JSON writer, so collect them first.
+    std::vector<WdLedgerSummary> merged(results.size());
+    std::vector<WdLedgerEntry> entries;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        for (const auto& [name, metrics] : results[i].byWorkload) {
+            (void)name;
+            merged[i].merge(metrics.wd);
+        }
+        entries.push_back({results[i].scheme, "all", &merged[i]});
+        if (top_n > 0)
+            printWdTop(std::cerr, results[i].scheme, merged[i], top_n);
+    }
+    if (path.empty() || path == "1")
+        return;
+    std::ofstream os(path);
+    SDPCM_ASSERT(os.good(), "cannot open wd-ledger file: ", path);
+    writeWdLedgerJson(os, bench_name, entries);
+    os.flush();
+    SDPCM_ASSERT(os.good(), "error writing wd-ledger file: ", path);
+    std::cout << "wd ledger written to " << path << "\n";
 }
 
 /** Workload-name column order: Table 3 order plus the aggregate. */

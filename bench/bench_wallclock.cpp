@@ -13,13 +13,14 @@
  * the quick-bench CMake target). --full runs the fig11 7-scheme matrix
  * over all 9 Table 3 workloads.
  *
- * A third serial pass runs with span attribution ON and a fourth with
- * streaming telemetry + SLO monitors ON, guarding the observability
- * promises: every pre-existing metric stays bit-identical (spans and
- * telemetry observe, never perturb), and the everything-off path keeps
- * its speed — pass --baseline=FILE (a previous BENCH_parallel.json) to
- * fail the bench if the observability-off serial wall-clock regressed
- * more than 2%.
+ * A third serial pass runs with span attribution ON, a fourth with
+ * streaming telemetry + SLO monitors ON and a fifth with the WD
+ * provenance ledger + per-line wear counters ON, guarding the
+ * observability promises: every pre-existing metric stays bit-identical
+ * (spans, telemetry and the ledger observe, never perturb), and the
+ * everything-off path keeps its speed — pass --baseline=FILE (a
+ * previous BENCH_parallel.json) to fail the bench if the
+ * observability-off serial wall-clock regressed more than 2%.
  */
 
 #include <chrono>
@@ -191,6 +192,18 @@ main(int argc, char** argv)
     const double telem_s =
         timedMatrix(schemes, workloads, telem_cfg, telem_results);
 
+    // Ledger pass: WD provenance tracking plus per-line wear counters
+    // (the wear.* metrics need them), so this also times the heatmap
+    // bookkeeping. The superset report comes from this pass — it keeps
+    // every shared metric bit-identical (asserted below) and adds the
+    // wd.* / wear.* families.
+    RunnerConfig ledger_cfg = serial_cfg;
+    ledger_cfg.wdLedger = true;
+    ledger_cfg.lineCounters = true;
+    std::vector<SchemeResults> ledger_results;
+    const double ledger_s =
+        timedMatrix(schemes, workloads, ledger_cfg, ledger_results);
+
     const bool identical =
         identicalResults(serial_results, parallel_results);
     if (!identical)
@@ -207,11 +220,19 @@ main(int argc, char** argv)
         SDPCM_WARN("telemetry-on results differ from telemetry-off on "
                    "shared metrics — the sampler perturbed the "
                    "simulation!");
+    const bool ledger_clean =
+        subsetIdentical(serial_results, ledger_results, "ledger-on");
+    if (!ledger_clean)
+        SDPCM_WARN("ledger-on results differ from ledger-off on shared "
+                   "metrics — the provenance ledger perturbed the "
+                   "simulation!");
     const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
     const double spans_overhead =
         serial_s > 0.0 ? spans_s / serial_s - 1.0 : 0.0;
     const double telem_overhead =
         serial_s > 0.0 ? telem_s / serial_s - 1.0 : 0.0;
+    const double ledger_overhead =
+        serial_s > 0.0 ? ledger_s / serial_s - 1.0 : 0.0;
 
     std::cout << "serial   : " << TablePrinter::fmt(serial_s, 3) << " s\n"
               << "parallel : " << TablePrinter::fmt(parallel_s, 3)
@@ -222,11 +243,16 @@ main(int argc, char** argv)
               << "telem-on : " << TablePrinter::fmt(telem_s, 3)
               << " s  serial ("
               << TablePrinter::pct(telem_overhead, 1) << " overhead)\n"
+              << "ledger-on: " << TablePrinter::fmt(ledger_s, 3)
+              << " s  serial ("
+              << TablePrinter::pct(ledger_overhead, 1) << " overhead)\n"
               << "speedup  : " << TablePrinter::fmt(speedup, 2) << "x\n"
               << "identical: " << (identical ? "yes" : "NO") << "\n"
               << "spans obs-only: " << (spans_clean ? "yes" : "NO")
               << "\n"
               << "telemetry obs-only: " << (telem_clean ? "yes" : "NO")
+              << "\n"
+              << "ledger obs-only: " << (ledger_clean ? "yes" : "NO")
               << "\n";
 
     bool baseline_ok = true;
@@ -261,33 +287,45 @@ main(int argc, char** argv)
        << "  \"parallel_seconds\": " << parallel_s << ",\n"
        << "  \"spans_serial_seconds\": " << spans_s << ",\n"
        << "  \"telemetry_serial_seconds\": " << telem_s << ",\n"
+       << "  \"ledger_serial_seconds\": " << ledger_s << ",\n"
        << "  \"speedup\": " << speedup << ",\n"
        << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
        << "  \"spans_observe_only\": "
        << (spans_clean ? "true" : "false") << ",\n"
        << "  \"telemetry_observe_only\": "
-       << (telem_clean ? "true" : "false") << "\n"
+       << (telem_clean ? "true" : "false") << ",\n"
+       << "  \"ledger_observe_only\": "
+       << (ledger_clean ? "true" : "false") << "\n"
        << "}\n";
     SDPCM_PROGRESS("written to ", out_path);
 
     maybeWriteSpans(args, spans_cfg, spans_results);
+    maybeWriteWdLedger(args, "bench_wallclock", ledger_cfg,
+                       ledger_results);
 
-    // The serial results are the reference copy (they bit-match the
-    // parallel ones whenever `identical` holds); wall-clock figures go
-    // into the gate-ignored environment section.
+    // The ledger-pass results are the reference copy: every shared
+    // metric bit-matches the everything-off serial run (`ledger_clean`)
+    // while the wd.* / wear.* families ride along, so the regression
+    // gate sees the widest schema. Wall-clock figures go into the
+    // gate-ignored environment section.
     maybeWriteReport(args, "REPORT_wallclock.json", "bench_wallclock",
-                     cfg, serial_results,
+                     cfg, ledger_results,
                      {{"serial_seconds", serial_s},
                       {"parallel_seconds", parallel_s},
                       {"spans_serial_seconds", spans_s},
                       {"telemetry_serial_seconds", telem_s},
+                      {"ledger_serial_seconds", ledger_s},
                       {"speedup", speedup},
                       {"identical", identical ? 1.0 : 0.0},
                       {"spans_observe_only", spans_clean ? 1.0 : 0.0},
                       {"telemetry_observe_only",
-                       telem_clean ? 1.0 : 0.0}});
+                       telem_clean ? 1.0 : 0.0},
+                      {"ledger_observe_only",
+                       ledger_clean ? 1.0 : 0.0}});
     const int oracle_rc = checkOracle(cfg, serial_results);
-    if (!identical || !spans_clean || !telem_clean || !baseline_ok)
+    if (!identical || !spans_clean || !telem_clean || !ledger_clean ||
+        !baseline_ok) {
         return 1;
+    }
     return oracle_rc;
 }

@@ -154,6 +154,21 @@ main(int argc, char** argv)
             "  --watchdog=N      flag a stall when no request retires "
             "for N\n"
             "                    ticks while work is pending\n"
+            "  --wd-ledger[=FILE]\n"
+            "                    disturbance-provenance ledger: record "
+            "every WD\n"
+            "                    flip aggressor -> victim -> outcome "
+            "chain; wd.*\n"
+            "                    metrics land in the report and FILE "
+            "gets the\n"
+            "                    aggregated JSON export\n"
+            "  --wd-top=N        print the top-N aggressor lines by "
+            "victim flips\n"
+            "                    to stderr (implies --wd-ledger)\n"
+            "  --endurance=F     per-cell write endurance for the "
+            "projected\n"
+            "                    lifetime estimate (default 1e8; needs\n"
+            "                    --line-counters or --heatmap)\n"
             "  --quiet           silence progress output (warnings, "
             "breaches and\n"
             "                    the stats dump still print)\n"
@@ -161,7 +176,7 @@ main(int argc, char** argv)
             "  --heatmap=KIND    export a spatial heatmap (implies "
             "--line-counters);\n"
             "                    KIND: writes|wd|wd_absorbed|wd_corrected"
-            "|ecp\n"
+            "|ecp|wear\n"
             "  --heatmap-csv=FILE --heatmap-pgm=FILE\n"
             "                    output paths (default "
             "heatmap_<kind>.csv/.pgm)\n"
@@ -226,6 +241,15 @@ main(int argc, char** argv)
                 spans_top > 0;
     cfg.verifyOracle = args.getBool("verify-oracle", false);
     cfg.telemetry = telemetryFromArgs(args);
+    // Same bare-flag idiom as --spans: --wd-ledger stores "1" (enable,
+    // no file); any other value is the JSON export path.
+    const std::string ledger_arg = args.getString("wd-ledger", "");
+    const std::string ledger_json =
+        (ledger_arg.empty() || ledger_arg == "1") ? "" : ledger_arg;
+    const unsigned wd_top =
+        static_cast<unsigned>(args.getInt("wd-top", 0));
+    cfg.wdLedger = args.has("wd-ledger") || wd_top > 0;
+    cfg.enduranceCellWrites = args.getDouble("endurance", 1e8);
     if (args.has("inject")) {
         try {
             cfg.faults = FaultSpec::parse(args.getString("inject", ""));
@@ -299,6 +323,28 @@ main(int argc, char** argv)
             if (spans_top > 0) {
                 printSpanTop(std::cerr, scheme.name + "/all", merged,
                              spans_top);
+            }
+        }
+        if (cfg.wdLedger) {
+            WdLedgerSummary merged;
+            std::vector<WdLedgerEntry> entries;
+            for (const auto& w : workloads) {
+                const RunMetrics& cell = results.front().at(w.name);
+                merged.merge(cell.wd);
+                entries.push_back(WdLedgerEntry{cell.scheme,
+                                                cell.workload,
+                                                &cell.wd});
+            }
+            if (!ledger_json.empty()) {
+                std::ofstream os(ledger_json);
+                if (!os)
+                    SDPCM_FATAL("cannot open ", ledger_json);
+                writeWdLedgerJson(os, "sdpcm_cli", entries);
+                SDPCM_PROGRESS("wd ledger written to ", ledger_json);
+            }
+            if (wd_top > 0) {
+                printWdTop(std::cerr, scheme.name + "/all", merged,
+                           wd_top);
             }
         }
         if (cfg.verifyOracle) {
@@ -433,6 +479,27 @@ main(int argc, char** argv)
             printSpanTop(std::cerr, scheme.name + "/" + spec.name,
                          m.spans, spans_top);
         }
+    }
+    if (cfg.wdLedger) {
+        if (!ledger_json.empty()) {
+            std::ofstream os(ledger_json);
+            if (!os)
+                SDPCM_FATAL("cannot open ", ledger_json);
+            writeWdLedgerJson(os, "sdpcm_cli",
+                              {WdLedgerEntry{m.scheme, m.workload,
+                                             &m.wd}});
+            SDPCM_PROGRESS("wd ledger written to ", ledger_json);
+        }
+        if (wd_top > 0) {
+            printWdTop(std::cerr, scheme.name + "/" + spec.name, m.wd,
+                       wd_top);
+        }
+        std::cout << "\nwd ledger: " << m.wd.flips() << " flips ("
+                  << m.wd.flipsWl << " wl / " << m.wd.flipsBl
+                  << " bl), " << m.wd.flipsFromCorrection
+                  << " by corrections, " << m.wd.outstanding
+                  << " outstanding, " << m.wd.blame.size()
+                  << " aggressor line(s)\n";
     }
     const std::string report_path = args.getString("report", "");
     if (!report_path.empty()) {

@@ -119,6 +119,25 @@ class Histogram
 
     std::size_t numBuckets() const { return buckets_.size(); }
 
+    /**
+     * Fold another histogram in. Mirrors record(): samples of `other`
+     * that fall beyond our maxValue (including its overflow) land in
+     * our overflow bucket, so merging histograms of different sizes is
+     * lossy only in the direction record() already is.
+     */
+    void
+    merge(const Histogram& other)
+    {
+        total_ += other.total_;
+        overflow_ += other.overflow_;
+        for (std::size_t v = 0; v < other.buckets_.size(); ++v) {
+            if (v < buckets_.size())
+                buckets_[v] += other.buckets_[v];
+            else
+                overflow_ += other.buckets_[v];
+        }
+    }
+
     /** Fraction of samples with value >= threshold. */
     double tailFraction(std::uint64_t threshold) const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/ledger.hh"
 #include "verify/oracle.hh"
 
 namespace sdpcm {
@@ -732,11 +733,17 @@ MemoryController::cancelActive(unsigned bank)
         // bank is read-idle, so a demand read or pre-read capture of
         // those neighbours would otherwise observe (and buffer) the
         // aborted attempt's damage.
+        if (ledger_)
+            ledger_->beginCancelRepair();
         device_.repairWlHits(b.active->plan);
+        if (ledger_)
+            ledger_->endCancelRepair();
         b.planPool = std::move(b.active->plan);
     }
     b.active.reset();
     w.cancels += 1;
+    if (ledger_)
+        ledger_->noteCancel(w.la);
     stats_.writeCancellations += 1;
     // The whole aborted attempt is sunk cost: its work will be re-done
     // when the entry resumes from the queue front.
@@ -898,6 +905,8 @@ MemoryController::advanceWrite(unsigned bank)
                 occupy(bank, peek.latency, OpKind::WriteRound,
                        [this, bank] {
                            ActiveWrite& aw = *banks_[bank].active;
+                           if (ledger_)
+                               ledger_->beginOp(aw.w.coreId, 0);
                            PcmDevice::RoundOutcome outcome;
                            const bool applied =
                                device_.applyNextRound(aw.plan, outcome);
@@ -1068,8 +1077,12 @@ MemoryController::advanceCorrection(unsigned bank)
                     ? peek.latency : 0;
                 occupy(bank, lat, OpKind::CorrectionRound,
                        [this, bank] {
-                           ActiveCorrection& cc =
-                               *banks_[bank].active->corr;
+                           ActiveWrite& aw = *banks_[bank].active;
+                           ActiveCorrection& cc = *aw.corr;
+                           if (ledger_) {
+                               ledger_->beginOp(aw.w.coreId,
+                                                cc.task.depth);
+                           }
                            PcmDevice::RoundOutcome outcome;
                            const bool applied =
                                device_.applyNextRound(cc.plan, outcome);

@@ -132,6 +132,15 @@ class MemoryController
      */
     void setSpanRecorder(SpanRecorder* spans) { spans_ = spans; }
 
+    /**
+     * Attach the disturbance-provenance ledger (null detaches). The
+     * controller contributes service context only — which core's
+     * request is in rounds, at what cascade depth, and whether a
+     * word-line repair belongs to a cancel unwind; the flip and fix
+     * events themselves come from the device (obs/ledger.hh).
+     */
+    void setLedger(WdLedger* ledger) { ledger_ = ledger; }
+
     // --- Observability accessors (epoch sampling / diagnostics). ---
     unsigned
     numBanks() const
@@ -358,6 +367,7 @@ class MemoryController
     TraceSink* trace_ = nullptr;
     ShadowOracle* oracle_ = nullptr;
     SpanRecorder* spans_ = nullptr;
+    WdLedger* ledger_ = nullptr;
     std::uint64_t nextWriteId_ = 1;
     std::vector<Bank> banks_;
     mutable std::map<std::uint64_t, NmPolicy> policies_;

@@ -22,9 +22,11 @@ heatmapKindByName(const std::string& name)
         return HeatmapKind::WdCorrected;
     if (name == "ecp")
         return HeatmapKind::EcpHighWater;
+    if (name == "wear")
+        return HeatmapKind::Wear;
     throw std::invalid_argument(
         "unknown heatmap kind '" + name +
-        "' (expected writes|wd|wd_absorbed|wd_corrected|ecp)");
+        "' (expected writes|wd|wd_absorbed|wd_corrected|ecp|wear)");
 }
 
 const char*
@@ -36,6 +38,7 @@ heatmapKindName(HeatmapKind kind)
     case HeatmapKind::WdAbsorbed: return "wd_absorbed";
     case HeatmapKind::WdCorrected: return "wd_corrected";
     case HeatmapKind::EcpHighWater: return "ecp";
+    case HeatmapKind::Wear: return "wear";
     }
     return "?";
 }
@@ -51,6 +54,7 @@ fieldOf(const LineCounters& c, HeatmapKind kind)
     case HeatmapKind::WdAbsorbed: return c.wdAbsorbed;
     case HeatmapKind::WdCorrected: return c.wdCorrected;
     case HeatmapKind::EcpHighWater: return c.ecpHighWater;
+    case HeatmapKind::Wear: return c.cellWrites;
     }
     return 0;
 }

@@ -35,7 +35,8 @@ enum class HeatmapKind
     WdFlips,     //!< disturbance flips landed (line as victim)
     WdAbsorbed,  //!< WD errors parked in ECP (LazyCorrection)
     WdCorrected, //!< cells fixed by correction writes / DIN repair
-    EcpHighWater //!< peak ECP occupancy (max over bin, not sum)
+    EcpHighWater, //!< peak ECP occupancy (max over bin, not sum)
+    Wear         //!< data cells programmed (endurance consumption)
 };
 
 /** Parse a CLI kind name; throws std::invalid_argument on unknown names. */

@@ -215,7 +215,12 @@ MonitorRule::parseList(const std::string& spec)
 
 MonitorSet::MonitorSet(std::vector<MonitorRule> rules)
     : rules_(std::move(rules))
-{}
+{
+    // Every rule gets an entry up front so a rule whose windows are
+    // always empty still shows up (with 0) in evaluationsByRule().
+    for (const MonitorRule& r : rules_)
+        evaluations_[r.name] = 0;
+}
 
 void
 MonitorSet::bind(const MetricRegistry& registry) const
@@ -271,6 +276,9 @@ MonitorSet::evaluate(const FrameData& frame)
             break;
           }
         }
+
+        // Past the zero-window skips: this rule saw real data.
+        evaluations_[r.name] += 1;
 
         // Track the worst value in the rule's violating direction.
         const bool higher_is_worse =

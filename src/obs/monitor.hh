@@ -122,11 +122,20 @@ class MonitorSet
     {
         return worst_;
     }
+    /** Frames each rule actually evaluated against (every rule appears,
+     *  zero-initialised). Quantile/Burn rules skip zero-request windows,
+     *  so a rule stuck at 0 here never guarded anything — the silent
+     *  failure mode telemetry_tail flags as "never sampled". */
+    const std::map<std::string, std::uint64_t>& evaluationsByRule() const
+    {
+        return evaluations_;
+    }
 
   private:
     std::vector<MonitorRule> rules_;
     std::vector<BreachEvent> breaches_;
     std::map<std::string, double> worst_;
+    std::map<std::string, std::uint64_t> evaluations_;
 };
 
 /** Forward-progress watchdog (evaluated at frame boundaries). */

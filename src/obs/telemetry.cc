@@ -219,6 +219,15 @@ TelemetrySampler::finalize()
         summary_.breaches = monitors_->totalBreaches();
         summary_.breachesByRule = monitors_->breachesByRule();
         summary_.worstByRule = monitors_->worstByRule();
+        summary_.evaluationsByRule = monitors_->evaluationsByRule();
+        for (const auto& [rule, evals] : summary_.evaluationsByRule) {
+            if (evals == 0) {
+                SDPCM_WARN("SLO rule '", rule, "' never evaluated: its "
+                           "window held zero samples in all ",
+                           summary_.frames, " frames — the rule guarded "
+                           "nothing");
+            }
+        }
         for (const auto& [rule, n] : summary_.breachesByRule) {
             const auto worst = summary_.worstByRule.find(rule);
             SDPCM_WARN("SLO rule '", rule, "' breached in ", n, " of ",
@@ -440,6 +449,13 @@ TelemetrySampler::writeSummaryLine(Tick now)
     w.endObject();
     w.key("breaches").beginObject();
     for (const auto& [rule, n] : summary_.breachesByRule)
+        w.kv(rule, n);
+    w.endObject();
+    // Schema-additive (tools tolerate its absence in old streams):
+    // frames each rule actually evaluated against — 0 flags a rule
+    // whose windows were always empty.
+    w.key("evaluations").beginObject();
+    for (const auto& [rule, n] : summary_.evaluationsByRule)
         w.kv(rule, n);
     w.endObject();
     w.kv("watchdog_stalls", summary_.watchdogStalls);

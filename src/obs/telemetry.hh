@@ -168,6 +168,9 @@ struct TelemetrySummary
     std::map<std::string, std::uint64_t> breachesByRule;
     /** Worst observed value per rule (most violating direction). */
     std::map<std::string, double> worstByRule;
+    /** Frames each rule evaluated against (every rule appears; 0 means
+     *  the rule's window was always empty — it never guarded anything). */
+    std::map<std::string, std::uint64_t> evaluationsByRule;
     std::uint64_t watchdogStalls = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/ledger.hh"
 #include "verify/faultinject.hh"
 
 namespace sdpcm {
@@ -345,6 +346,10 @@ PcmDevice::injectDisturbance(const LineAddr& addr, unsigned pos,
             stats_.wlDisturbances += 1;
             if (config_.lineCounters)
                 ns.counters.wdFlips += 1;
+            if (ledger_) {
+                ledger_->recordFlip(plan.addr, plan.isCorrection, n_addr,
+                                    n_pos, /*word_line=*/true);
+            }
             plan.wlHits.push_back((n_addr.line << 9) | n_pos);
         };
 
@@ -386,6 +391,10 @@ PcmDevice::injectDisturbance(const LineAddr& addr, unsigned pos,
             stats_.blDisturbances += 1;
             if (config_.lineCounters)
                 ns.counters.wdFlips += 1;
+            if (ledger_) {
+                ledger_->recordFlip(plan.addr, plan.isCorrection, n_addr,
+                                    pos, /*word_line=*/false);
+            }
             if (upper)
                 plan.blHitsUpper += 1;
             else
@@ -443,6 +452,11 @@ PcmDevice::applyNextRound(WritePlan& plan, RoundOutcome& outcome)
         stats_.correctionCellWrites += programmed;
     else
         stats_.normalCellWrites += programmed;
+    if (config_.lineCounters) {
+        ls.counters.cellWrites += programmed;
+        if (ls.counters.cellWrites > maxLineCellWrites_)
+            maxLineCellWrites_ = ls.counters.cellWrites;
+    }
 
     // Only RESET pulses disseminate enough heat to disturb (SET current is
     // about half, i.e. ~4x lower temperature rise; Section 2.2.1).
@@ -468,8 +482,14 @@ PcmDevice::repairWlHits(WritePlan& plan)
             fixed += 1;
             stats_.dataCellWrites += 1;
             stats_.correctionCellWrites += 1;
-            if (config_.lineCounters)
+            if (config_.lineCounters) {
                 fs.counters.wdCorrected += 1;
+                fs.counters.cellWrites += 1;
+                if (fs.counters.cellWrites > maxLineCellWrites_)
+                    maxLineCellWrites_ = fs.counters.cellWrites;
+            }
+            if (ledger_)
+                ledger_->flipRepaired(fix_addr, pos);
         }
     }
     return fixed;
@@ -508,6 +528,12 @@ PcmDevice::finishWrite(WritePlan& plan)
             static_cast<double>(plan.blHitsLower));
         stats_.blErrorHistogram.record(plan.blHitsUpper);
         stats_.blErrorHistogram.record(plan.blHitsLower);
+        // The write rewrote the full line content, so its remaining
+        // pending flips (bit-line hits from earlier neighbour writes)
+        // resolve as overwritten. After repairWlHits: this write's own
+        // in-row hits resolve as repaired first.
+        if (ledger_)
+            ledger_->noteLineWritten(plan.addr);
     } else {
         stats_.correctionWrites += 1;
         // Every cell a correction RESETs was a disturbed (or re-disturbed)
@@ -515,6 +541,11 @@ PcmDevice::finishWrite(WritePlan& plan)
         if (config_.lineCounters) {
             ls.counters.wdCorrected += static_cast<std::uint32_t>(
                 plan.masks.resetCount());
+        }
+        if (ledger_) {
+            forEachSetBit(plan.masks.resetMask, [&](unsigned pos) {
+                ledger_->flipCorrected(plan.addr, pos);
+            });
         }
     }
 
@@ -564,6 +595,8 @@ PcmDevice::recordWdInEcp(const LineAddr& addr,
             stats_.ecpWdRecorded += 1;
             if (config_.lineCounters)
                 ls.counters.wdAbsorbed += 1;
+            if (ledger_)
+                ledger_->flipAbsorbed(addr, pos);
         } else {
             all_fit = false;
         }

@@ -38,6 +38,7 @@
 namespace sdpcm {
 
 class FaultInjector;
+class WdLedger;
 
 /** Per-direction disturbance probabilities (per RESET, vulnerable cell). */
 struct WdRates
@@ -62,7 +63,7 @@ struct AgingConfig
  *
  * Disabled by default: the hot path pays only a predictable branch per
  * increment site when `DeviceConfig::lineCounters` is off, and the
- * per-line memory cost (20 bytes/line) is only incurred for lines that
+ * per-line memory cost (24 bytes/line) is only incurred for lines that
  * are materialised anyway.
  */
 struct LineCounters
@@ -72,6 +73,10 @@ struct LineCounters
     std::uint32_t wdAbsorbed = 0;  //!< WD errors parked in this line's ECP
     std::uint32_t wdCorrected = 0; //!< cells fixed by correction/DIN repair
     std::uint32_t ecpHighWater = 0; //!< peak ECP entries in use
+    /** Data cells programmed on this line (wear: every program pulse of
+     *  normal writes, corrections and WL repairs; across all touched
+     *  lines this telescopes to DeviceStats::dataCellWrites). */
+    std::uint32_t cellWrites = 0;
 };
 
 /** One line's counters with its address (heatmap export). */
@@ -158,6 +163,20 @@ class PcmDevice
      * identical with and without one attached.
      */
     void setFaultInjector(FaultInjector* inject) { inject_ = inject; }
+
+    /**
+     * Attach the disturbance-provenance ledger (obs/ledger.hh). Same
+     * discipline as the other observers: null when off, one null check
+     * per emission site, and strictly observe-only — the device's RNG
+     * and cell sequences are identical with and without one attached.
+     */
+    void setLedger(WdLedger* ledger) { ledger_ = ledger; }
+
+    /**
+     * Running maximum of per-line programmed-cell counts (wear-skew
+     * telemetry gauge). 0 unless `DeviceConfig::lineCounters` is on.
+     */
+    std::uint32_t maxLineCellWrites() const { return maxLineCellWrites_; }
 
     /**
      * Logical-space mask of cells whose intended value the line cannot
@@ -376,6 +395,10 @@ class PcmDevice
     DeviceStats stats_;
     double hardErrorMean_;
     FaultInjector* inject_ = nullptr;
+    WdLedger* ledger_ = nullptr;
+
+    /** Peak LineCounters::cellWrites across lines (wear-skew gauge). */
+    std::uint32_t maxLineCellWrites_ = 0;
 
     /** Injected stuck-cell scratch for state() (reused per line). */
     std::vector<unsigned> injectScratch_;

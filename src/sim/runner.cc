@@ -44,6 +44,8 @@ runOne(const SchemeConfig& scheme, const WorkloadSpec& workload,
     sc.lineCounters = cfg.lineCounters;
     sc.spans = cfg.spans;
     sc.telemetry = cfg.telemetry;
+    sc.wdLedger = cfg.wdLedger;
+    sc.enduranceCellWrites = cfg.enduranceCellWrites;
     sc.verifyOracle = cfg.verifyOracle;
     sc.faults = cfg.faults;
     System system(sc, workload);

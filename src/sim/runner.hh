@@ -55,6 +55,10 @@ struct RunnerConfig
      *  them (one file, many cells) but keep interval/rules/watchdog so
      *  mon.* metrics stay per-cell. */
     TelemetryConfig telemetry;
+    /** Disturbance-provenance ledger (RunMetrics::wd). */
+    bool wdLedger = false;
+    /** Per-cell endurance budget for wear.projectedLifetimeTicks. */
+    double enduranceCellWrites = 1e8;
 
     // Verification passthrough (see SystemConfig).
     bool verifyOracle = false;

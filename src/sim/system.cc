@@ -16,7 +16,8 @@ namespace {
  * the telemetry cross-check both depend on that identity.
  */
 MetricRegistry
-buildRegistry(const MemoryController& ctrl, const PcmDevice& device)
+buildRegistry(const MemoryController& ctrl, const PcmDevice& device,
+              const WdLedger* ledger)
 {
     MetricRegistry reg;
     const CtrlStats& cs = ctrl.stats();
@@ -77,6 +78,48 @@ buildRegistry(const MemoryController& ctrl, const PcmDevice& device)
                  [&ctrl] { return ctrl.pendingCorrections(); });
     reg.addGauge("ctrl.inFlightWrites",
                  [&ctrl] { return ctrl.inFlightWrites(); });
+
+    if (ledger) {
+        // Outcome counters are monotonic: a flip resolves exactly once.
+        // Names are the wd.* snapshot keys (cross-check identity).
+        reg.addCounter("wd.flips", [ledger] { return ledger->flips(); });
+        reg.addCounter("wd.flipsWl",
+                       [ledger] { return ledger->flipsWl(); });
+        reg.addCounter("wd.flipsBl",
+                       [ledger] { return ledger->flipsBl(); });
+        const auto outcome = [&reg, ledger](const char* name,
+                                            WdOutcome o) {
+            reg.addCounter(name, [ledger, o] {
+                return ledger->outcomeCount(o);
+            });
+        };
+        outcome("wd.absorbed", WdOutcome::Absorbed);
+        outcome("wd.repaired", WdOutcome::Repaired);
+        outcome("wd.cancelRepaired", WdOutcome::Cancelled);
+        outcome("wd.corrected", WdOutcome::Corrected);
+        outcome("wd.overwritten", WdOutcome::Overwritten);
+        // Outstanding flips drain as they resolve: a gauge, not a
+        // counter (the cross-check demands monotonic counters).
+        reg.addGauge("wd.outstanding",
+                     [ledger] { return ledger->outstanding(); });
+    }
+    if (device.config().lineCounters) {
+        // Wear-skew gauges so SLO monitors can alarm on uneven aging.
+        reg.addGauge("wear.maxLineCellWrites", [&device] {
+            return static_cast<std::uint64_t>(device.maxLineCellWrites());
+        });
+        // max/mean per-line programmed cells in permille (integer gauge
+        // semantics): 1000 = perfectly level, higher = skewed.
+        reg.addGauge("wear.skewPermille", [&device] {
+            const std::uint64_t total = device.stats().dataCellWrites;
+            if (total == 0)
+                return std::uint64_t(0);
+            const std::uint64_t peak = device.maxLineCellWrites();
+            return peak * 1000 *
+                   static_cast<std::uint64_t>(device.touchedLines()) /
+                   total;
+        });
+    }
 
     reg.addLatency("ctrl.readLatency", &cs.readLatency);
     reg.addLatency("ctrl.writeServiceLatency", &cs.writeServiceLatency);
@@ -188,9 +231,17 @@ System::System(const SystemConfig& config, const WorkloadSpec& workload)
         spanRecorder_ = std::make_unique<SpanRecorder>();
         ctrl_->setSpanRecorder(spanRecorder_.get());
     }
+    // Before telemetry: the registry publishes wd.* counters off the
+    // ledger when one is attached.
+    if (config_.wdLedger) {
+        ledger_ = std::make_unique<WdLedger>(events_, config_.geometry);
+        device_->setLedger(ledger_.get());
+        ctrl_->setLedger(ledger_.get());
+    }
     if (config_.telemetry.enabled()) {
         telemetrySampler_ = std::make_unique<TelemetrySampler>(
-            events_, buildRegistry(*ctrl_, *device_), config_.telemetry,
+            events_, buildRegistry(*ctrl_, *device_, ledger_.get()),
+            config_.telemetry,
             config_.scheme.name, workload_.name, traceSink_.get());
         if (config_.telemetry.watchdogTicks > 0) {
             // The System builds the watchdog: it owns the notion of
@@ -385,6 +436,47 @@ RunMetrics::toSnapshot() const
     }
 
     addSpanMetrics(s, spans);
+    addWdLedgerMetrics(s, wd);
+
+    if (!lines.empty()) {
+        // Wear distribution over the touched lines: inequality metrics
+        // plus a lifetime projection (measured per-line write rate
+        // against the per-cell endurance budget). Deterministic: the
+        // samples are sorted and the Gini sum is exact over integers.
+        std::vector<double> per_line;
+        per_line.reserve(lines.size());
+        double total = 0.0;
+        double peak = 0.0;
+        for (const LineCounterSample& l : lines) {
+            const double v = static_cast<double>(l.counters.cellWrites);
+            per_line.push_back(v);
+            total += v;
+            peak = std::max(peak, v);
+        }
+        std::sort(per_line.begin(), per_line.end());
+        const double n = static_cast<double>(per_line.size());
+        const double mean = total / n;
+        double gini = 0.0;
+        if (total > 0.0) {
+            double weighted = 0.0;
+            for (std::size_t i = 0; i < per_line.size(); ++i)
+                weighted += static_cast<double>(i + 1) * per_line[i];
+            gini = 2.0 * weighted / (n * total) - (n + 1.0) / n;
+        }
+        s.set("wear.lines", n);
+        s.set("wear.totalCellWrites", total);
+        s.set("wear.maxLineCellWrites", peak);
+        s.set("wear.meanLineCellWrites", mean);
+        s.set("wear.maxOverMean", mean > 0.0 ? peak / mean : 0.0);
+        s.set("wear.gini", gini);
+        s.set("wear.enduranceCellWrites", enduranceCellWrites);
+        // Ticks until the hottest line exhausts its budget at the rate
+        // this run measured (0 when nothing was programmed).
+        s.set("wear.projectedLifetimeTicks",
+              peak > 0.0 ? enduranceCellWrites *
+                               static_cast<double>(finalTick) / peak
+                         : 0.0);
+    }
 
     if (telemetry.enabled) {
         s.set("telemetry.intervalTicks",
@@ -398,6 +490,10 @@ RunMetrics::toSnapshot() const
         }
         for (const auto& [rule, worst] : telemetry.worstByRule)
             s.set("mon." + rule + ".worst", worst);
+        for (const auto& [rule, n] : telemetry.evaluationsByRule) {
+            s.set("mon." + rule + ".evaluations",
+                  static_cast<double>(n));
+        }
     }
 
     if (epochs.enabled()) {
@@ -435,6 +531,28 @@ System::metrics() const
         m.lines = device_->lineCounterSamples();
     if (oracle_)
         m.oracle = oracle_->summary();
+    m.enduranceCellWrites = config_.enduranceCellWrites;
+    if (ledger_) {
+        m.wd = ledger_->summarize();
+        // The ledger telescopes to the device's own disturbance
+        // counters by construction: every flip site and every absorb
+        // site emits both. Bit-exact, not approximate.
+        SDPCM_ASSERT(m.wd.flipsWl == m.device.wlDisturbances,
+                     "ledger WL flips (", m.wd.flipsWl,
+                     ") diverged from device wlDisturbances (",
+                     m.device.wlDisturbances, ")");
+        SDPCM_ASSERT(m.wd.flipsBl == m.device.blDisturbances,
+                     "ledger BL flips (", m.wd.flipsBl,
+                     ") diverged from device blDisturbances (",
+                     m.device.blDisturbances, ")");
+        const std::uint64_t absorbs =
+            m.wd.outcomes[static_cast<unsigned>(WdOutcome::Absorbed)] +
+            m.wd.lateFixes[static_cast<unsigned>(WdOutcome::Absorbed)];
+        SDPCM_ASSERT(absorbs == m.device.ecpWdRecorded,
+                     "ledger absorb events (", absorbs,
+                     ") diverged from device ecpWdRecorded (",
+                     m.device.ecpWdRecorded, ")");
+    }
     if (spanRecorder_) {
         m.spans = spanRecorder_->summarize();
         // Spans also count every cancelled attempt; the two counters

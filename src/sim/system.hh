@@ -15,6 +15,7 @@
 #include "controller/memctrl.hh"
 #include "cpu/core.hh"
 #include "obs/epoch_sampler.hh"
+#include "obs/ledger.hh"
 #include "obs/telemetry.hh"
 #include "obs/trace_sink.hh"
 #include "os/buddy.hh"
@@ -70,6 +71,12 @@ struct SystemConfig
     /** Streaming telemetry + SLO monitors (obs/telemetry.hh); disabled
      *  unless telemetry.intervalTicks > 0. */
     TelemetryConfig telemetry;
+    /** Disturbance-provenance ledger (obs/ledger.hh). */
+    bool wdLedger = false;
+    /** Per-cell endurance budget (writes a cell survives) for the
+     *  wear.projectedLifetimeTicks estimate. 1e8 is the paper's PCM
+     *  endurance ballpark; purely an output-side scale factor. */
+    double enduranceCellWrites = 1e8;
 
     // --- Verification (both default off: zero-overhead fast path). ---
     /** Shadow-memory integrity oracle (see verify/oracle.hh). */
@@ -97,6 +104,10 @@ struct RunMetrics
     SpanSummary spans;
     /** Telemetry aggregates; `enabled` false unless telemetry was on. */
     TelemetrySummary telemetry;
+    /** WD provenance; `enabled` false unless wdLedger was on. */
+    WdLedgerSummary wd;
+    /** Endurance budget used for wear.projectedLifetimeTicks. */
+    double enduranceCellWrites = 1e8;
 
     /** Correction writes per completed data write (Figure 12). */
     double
@@ -142,6 +153,8 @@ class System
     SpanRecorder* spanRecorder() { return spanRecorder_.get(); }
     /** The telemetry sampler, or null when --telemetry-interval is off. */
     TelemetrySampler* telemetry() { return telemetrySampler_.get(); }
+    /** The provenance ledger, or null when --wd-ledger is off. */
+    WdLedger* ledger() { return ledger_.get(); }
     const WdModel& wdModel() const { return wdModel_; }
     const std::vector<std::unique_ptr<TraceCore>>& cores() const
     {
@@ -164,6 +177,7 @@ class System
     std::unique_ptr<FaultInjector> faultInjector_;
     std::unique_ptr<ShadowOracle> oracle_;
     std::unique_ptr<SpanRecorder> spanRecorder_;
+    std::unique_ptr<WdLedger> ledger_;
     std::unique_ptr<TelemetrySampler> telemetrySampler_;
     std::unique_ptr<PageAllocatorSystem> allocator_;
     std::vector<std::unique_ptr<Mmu>> mmus_;

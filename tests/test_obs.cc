@@ -692,7 +692,7 @@ TEST(JsonHelpers, EscapesQuotesBackslashesAndControlChars)
 
 TEST(JsonHelpers, EscapedStringsRoundTripThroughSharedParser)
 {
-    for (const std::string s :
+    for (const std::string& s :
          {std::string("a\"b\\c\nd\te\rf"), std::string("\x01\x02\x1f"),
           std::string("a\0b", 3), std::string("plain ascii")}) {
         std::ostringstream os;

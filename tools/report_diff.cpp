@@ -3,7 +3,7 @@
  * Cross-run regression gate: compare two run reports metric by metric.
  *
  *   report_diff BASELINE.json CURRENT.json [--thresholds=FILE]
- *               [--show-all] [--allow-missing]
+ *               [--show-all] [--allow-missing] [--json[=FILE]]
  *
  * Every metric of every (scheme, workload) run in BASELINE must exist in
  * CURRENT and match within its relative threshold (default: exact — the
@@ -20,14 +20,22 @@
  * data), 2 = usage/parse error. Metrics or runs only present in CURRENT
  * are reported but never fail the gate (additive schema rule —
  * see obs/report.hh).
+ *
+ * --json[=FILE] emits the full machine-readable verdict (every changed
+ * metric with old/new/delta/threshold/verdict, the structural notes and
+ * the overall result) to FILE, or to stdout in place of the table when
+ * no FILE is given — for CI annotations and dashboards that would
+ * otherwise scrape the table.
  */
 
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
 
 #include "common/args.hh"
 #include "common/table.hh"
+#include "obs/json.hh"
 #include "obs/report.hh"
 
 using namespace sdpcm;
@@ -42,6 +50,44 @@ num(double v)
     os.precision(17);
     os << v;
     return os.str();
+}
+
+/** The machine-readable verdict document (`sdpcm_report_diff`). */
+void
+writeDiffJson(std::ostream& os, const std::string& baseline_path,
+              const std::string& current_path, const DiffResult& diff)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("kind", "sdpcm_report_diff");
+    w.kv("schema_version", std::uint64_t(1));
+    w.kv("baseline", baseline_path);
+    w.kv("current", current_path);
+    w.kv("ok", diff.ok);
+    w.kv("regressions", static_cast<std::uint64_t>(diff.regressions()));
+    w.kv("changed",
+         static_cast<std::uint64_t>(diff.deltas.size() -
+                                    diff.regressions()));
+    w.key("deltas").beginArray();
+    for (const MetricDelta& d : diff.deltas) {
+        w.beginObject();
+        w.kv("run", d.run);
+        w.kv("metric", d.metric);
+        w.kv("baseline", d.baseline);
+        w.kv("current", d.current);
+        w.kv("delta", d.current - d.baseline);
+        w.kv("rel", d.rel);
+        w.kv("threshold", d.threshold);
+        w.kv("verdict", d.regressed ? "REGRESSED" : "ok");
+        w.endObject();
+    }
+    w.endArray();
+    w.key("notes").beginArray();
+    for (const std::string& note : diff.notes)
+        w.value(note);
+    w.endArray();
+    w.endObject();
+    os << "\n";
 }
 
 } // namespace
@@ -64,7 +110,7 @@ main(int argc, char** argv)
     if (args.has("help") || paths.size() != 2) {
         std::cerr << "usage: report_diff BASELINE.json CURRENT.json"
                      " [--thresholds=FILE] [--show-all]"
-                     " [--allow-missing]\n";
+                     " [--allow-missing] [--json[=FILE]]\n";
         return paths.size() == 2 ? 0 : 2;
     }
 
@@ -85,6 +131,29 @@ main(int argc, char** argv)
         diffReports(baseline, current, thresholds,
                     args.getBool("allow-missing", false));
     const bool show_all = args.getBool("show-all", false);
+
+    // --json alone stores "1" (stdout, replacing the table); any other
+    // value is an output path and the table still prints.
+    if (args.has("json")) {
+        const std::string json_arg = args.getString("json", "");
+        if (json_arg.empty() || json_arg == "1") {
+            writeDiffJson(std::cout, paths[0], paths[1], diff);
+            return diff.ok ? 0 : 1;
+        }
+        std::ofstream os(json_arg);
+        if (!os) {
+            std::cerr << "report_diff: cannot open " << json_arg << "\n";
+            return 2;
+        }
+        writeDiffJson(os, paths[0], paths[1], diff);
+        os.flush();
+        if (!os) {
+            std::cerr << "report_diff: error writing " << json_arg
+                      << "\n";
+            return 2;
+        }
+        std::cout << "json verdict written to " << json_arg << "\n";
+    }
 
     std::cout << "baseline: " << paths[0] << " (" << baseline.runs.size()
               << " runs)\ncurrent : " << paths[1] << " ("

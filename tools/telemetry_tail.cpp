@@ -9,9 +9,14 @@
  *
  * Summary mode prints the stream's identity (scheme/workload/interval),
  * frame count, counter totals recomputed by summing every frame delta,
- * per-rule breach counts and watchdog stalls. The recomputed totals are
- * verified against the stream's own trailing summary line — a truncated
- * or torn stream fails here rather than producing silently-short totals.
+ * a per-monitor-rule table (breaches, frames evaluated) and watchdog
+ * stalls. A rule that evaluated zero frames is flagged NEVER SAMPLED:
+ * quantile/burn rules skip zero-request windows, so such a rule
+ * silently guarded nothing the whole run (streams older than the
+ * `evaluations` summary key show "n/a" instead). The recomputed totals
+ * are verified against the stream's own trailing summary line — a
+ * truncated or torn stream fails here rather than producing
+ * silently-short totals.
  *
  * --metric ranks frames by a counter delta or gauge (default metric:
  * ctrl.readsServiced) and prints the top N (default 10) with their tick
@@ -64,7 +69,14 @@ struct Stream
     std::vector<Frame> frames;
     std::map<std::string, double> totals; //!< summed frame deltas
     std::map<std::string, double> summaryTotals; //!< trailing line
+    /** Rule names declared in the meta line (text before the first ':'
+     *  of each rule spec), in declaration order. */
+    std::vector<std::string> ruleNames;
     std::map<std::string, std::uint64_t> breaches;
+    /** Frames each rule evaluated against, from the summary line. */
+    std::map<std::string, std::uint64_t> evaluations;
+    /** False for streams written before the `evaluations` key existed. */
+    bool sawEvaluations = false;
     std::uint64_t stalls = 0;
     bool sawSummary = false;
 };
@@ -98,6 +110,14 @@ parseStream(const std::string& path)
             s.workload = v.at("workload").str;
             s.intervalTicks = static_cast<std::uint64_t>(
                 v.at("interval_ticks").number);
+            if (v.has("rules")) {
+                for (const JsonValue& r : v.at("rules").array) {
+                    const auto colon = r.str.find(':');
+                    s.ruleNames.push_back(colon == std::string::npos
+                                              ? r.str
+                                              : r.str.substr(0, colon));
+                }
+            }
         } else if (type == "frame") {
             Frame f;
             f.seq = static_cast<std::uint64_t>(v.at("seq").number);
@@ -117,6 +137,14 @@ parseStream(const std::string& path)
             s.sawSummary = true;
             for (const auto& [name, val] : v.at("totals").object)
                 s.summaryTotals[name] = val.number;
+            if (v.has("evaluations")) {
+                s.sawEvaluations = true;
+                for (const auto& [rule, val] :
+                     v.at("evaluations").object) {
+                    s.evaluations[rule] =
+                        static_cast<std::uint64_t>(val.number);
+                }
+            }
         }
     }
     return s;
@@ -158,10 +186,42 @@ printSummary(const Stream& s)
     for (const auto& [name, total] : s.totals)
         t.addRow({name, TablePrinter::fmt(total, 0)});
     t.print(std::cout);
-    if (!s.breaches.empty()) {
-        std::cout << "\nSLO breaches:\n";
-        for (const auto& [rule, n] : s.breaches)
-            std::cout << "  " << rule << ": " << n << " frame(s)\n";
+    // Monitor rules: union of the meta declaration (covers rules that
+    // never breached) and the breach/evaluation maps (covers streams
+    // whose meta predates the `rules` key).
+    std::vector<std::string> rules = s.ruleNames;
+    const auto ensure = [&rules](const std::string& name) {
+        if (std::find(rules.begin(), rules.end(), name) == rules.end())
+            rules.push_back(name);
+    };
+    for (const auto& [rule, n] : s.breaches) {
+        (void)n;
+        ensure(rule);
+    }
+    for (const auto& [rule, n] : s.evaluations) {
+        (void)n;
+        ensure(rule);
+    }
+    if (!rules.empty()) {
+        std::cout << "\nSLO monitors:\n";
+        TablePrinter mt({"rule", "breaches", "evaluated", "status"});
+        for (const std::string& rule : rules) {
+            const auto b = s.breaches.find(rule);
+            const std::uint64_t breached =
+                b == s.breaches.end() ? 0 : b->second;
+            const auto e = s.evaluations.find(rule);
+            const std::uint64_t evals =
+                e == s.evaluations.end() ? 0 : e->second;
+            std::string status = "ok";
+            if (breached > 0)
+                status = "BREACHED";
+            else if (s.sawEvaluations && evals == 0)
+                status = "NEVER SAMPLED"; // empty windows all run long
+            mt.addRow({rule, std::to_string(breached),
+                       s.sawEvaluations ? std::to_string(evals) : "n/a",
+                       status});
+        }
+        mt.print(std::cout);
     }
     if (s.stalls > 0)
         std::cout << "\nwatchdog stalls: " << s.stalls << "\n";
