@@ -42,7 +42,9 @@ gmeanCpi(const SchemeResults& r)
 int
 main(int argc, char** argv)
 {
-    RunnerConfig cfg = configFromArgs(argc, argv, 6000);
+    const ArgParser args(argc, argv);
+    const RunnerConfig cfg = configFromArgs(args, 6000);
+    args.finishParsing();
     banner("Ablation studies (write-heavy subset)", cfg);
     const auto workloads = writeHeavy();
 

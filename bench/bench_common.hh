@@ -71,9 +71,8 @@ namespace sdpcm {
 namespace bench {
 
 inline RunnerConfig
-configFromArgs(int argc, char** argv, std::int64_t default_refs = 10000)
+configFromArgs(const ArgParser& args, std::int64_t default_refs = 10000)
 {
-    ArgParser args(argc, argv);
     if (args.getBool("quiet", false))
         setLogLevel(LogLevel::Warn);
     RunnerConfig cfg;
@@ -85,11 +84,25 @@ configFromArgs(int argc, char** argv, std::int64_t default_refs = 10000)
     cfg.verifyOracle = args.getBool("verify-oracle", false);
     cfg.spans = args.getBool("spans", false) ||
                 args.has("spans-folded") || args.has("spans-top");
-    if (args.has("inject"))
-        cfg.faults = FaultSpec::parse(args.getString("inject", ""));
+    if (args.has("inject")) {
+        // FaultSpec::parse throws on malformed specs; turn that into a
+        // fatal diagnostic instead of an uncaught-exception terminate.
+        try {
+            cfg.faults = FaultSpec::parse(args.getString("inject", ""));
+        } catch (const std::invalid_argument& e) {
+            SDPCM_FATAL("bad --inject spec: ", e.what());
+        }
+    }
     cfg.telemetry = telemetryFromArgs(args);
     cfg.wdLedger = args.has("wd-ledger") || args.has("wd-top");
     cfg.enduranceCellWrites = args.getDouble("endurance", 1e8);
+    // The shared maybeWrite* helpers read these after the run; declare
+    // them now so finishParsing() before the run accepts them.
+    (void)args.has("report");
+    (void)args.has("spans-folded");
+    (void)args.has("spans-top");
+    (void)args.has("wd-ledger");
+    (void)args.has("wd-top");
     return cfg;
 }
 

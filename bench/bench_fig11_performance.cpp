@@ -19,7 +19,8 @@ int
 main(int argc, char** argv)
 {
     const ArgParser args(argc, argv);
-    const RunnerConfig cfg = configFromArgs(argc, argv);
+    const RunnerConfig cfg = configFromArgs(args);
+    args.finishParsing();
     banner("Figure 11: system performance under different schemes", cfg);
 
     const std::vector<SchemeConfig> schemes = {

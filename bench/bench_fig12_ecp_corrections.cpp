@@ -19,7 +19,8 @@ int
 main(int argc, char** argv)
 {
     const ArgParser args(argc, argv);
-    const RunnerConfig cfg = configFromArgs(argc, argv);
+    const RunnerConfig cfg = configFromArgs(args);
+    args.finishParsing();
     banner("Figure 12: ECP entries vs correction operations", cfg);
 
     const std::vector<unsigned> entries = {0, 2, 4, 6, 8, 10};

@@ -16,7 +16,8 @@ int
 main(int argc, char** argv)
 {
     const ArgParser args(argc, argv);
-    const RunnerConfig cfg = configFromArgs(argc, argv);
+    const RunnerConfig cfg = configFromArgs(args);
+    args.finishParsing();
     banner("Figure 13: ECP entries vs system performance", cfg);
 
     const std::vector<unsigned> entries = {0, 2, 4, 6, 8, 10};

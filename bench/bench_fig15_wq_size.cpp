@@ -15,7 +15,9 @@ using namespace sdpcm::bench;
 int
 main(int argc, char** argv)
 {
-    const RunnerConfig cfg = configFromArgs(argc, argv);
+    const ArgParser args(argc, argv);
+    const RunnerConfig cfg = configFromArgs(args);
+    args.finishParsing();
     banner("Figure 15: write queue size under LazyC+PreRead", cfg);
 
     const std::vector<unsigned> sizes = {8, 16, 32, 64};

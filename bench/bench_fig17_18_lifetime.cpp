@@ -25,7 +25,9 @@ using namespace sdpcm::bench;
 int
 main(int argc, char** argv)
 {
-    const RunnerConfig cfg = configFromArgs(argc, argv);
+    const ArgParser args(argc, argv);
+    const RunnerConfig cfg = configFromArgs(args);
+    args.finishParsing();
     banner("Figures 17/18: normalised lifetime (data chips / ECP chip)",
            cfg);
 

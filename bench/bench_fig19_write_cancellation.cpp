@@ -17,7 +17,9 @@ using namespace sdpcm::bench;
 int
 main(int argc, char** argv)
 {
-    const RunnerConfig cfg = configFromArgs(argc, argv);
+    const ArgParser args(argc, argv);
+    const RunnerConfig cfg = configFromArgs(args);
+    args.finishParsing();
     banner("Figure 19: LazyC with write cancellation", cfg);
 
     SchemeConfig wc = SchemeConfig::baselineVnc();

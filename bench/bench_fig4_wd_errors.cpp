@@ -19,7 +19,9 @@ using namespace sdpcm::bench;
 int
 main(int argc, char** argv)
 {
-    const RunnerConfig cfg = configFromArgs(argc, argv);
+    const ArgParser args(argc, argv);
+    const RunnerConfig cfg = configFromArgs(args);
+    args.finishParsing();
     banner("Figure 4: WD errors per line write (diff-write + DIN)", cfg);
 
     const auto results =

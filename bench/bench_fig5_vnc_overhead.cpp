@@ -20,7 +20,9 @@ using namespace sdpcm::bench;
 int
 main(int argc, char** argv)
 {
-    const RunnerConfig cfg = configFromArgs(argc, argv);
+    const ArgParser args(argc, argv);
+    const RunnerConfig cfg = configFromArgs(args);
+    args.finishParsing();
     banner("Figure 5: VnC overhead at runtime", cfg);
 
     SchemeConfig verify_only = SchemeConfig::baselineVnc();

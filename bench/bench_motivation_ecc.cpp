@@ -29,6 +29,7 @@ main(int argc, char** argv)
     const unsigned trials =
         static_cast<unsigned>(args.getInt("trials", 400));
     const double flip_density = args.getDouble("flip", 0.15);
+    args.finishParsing();
 
     std::cout << "=== Section 3.2: VnC is needed because ECC cannot keep "
                  "up ===\n\n--- BCH cost for t-error correction of a 64B "

@@ -18,6 +18,7 @@ main(int argc, char** argv)
     ArgParser args(argc, argv);
     const std::uint64_t samples =
         static_cast<std::uint64_t>(args.getInt("refs", 300000));
+    args.finishParsing();
 
     std::cout << "=== Table 3: simulated applications (generator "
                  "calibration over " << samples << " refs) ===\n\n";

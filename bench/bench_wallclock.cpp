@@ -125,11 +125,12 @@ int
 main(int argc, char** argv)
 {
     ArgParser args(argc, argv);
-    RunnerConfig cfg = configFromArgs(argc, argv, 2000);
+    RunnerConfig cfg = configFromArgs(args, 2000);
     const bool full = args.has("full");
     const std::string out_path =
         args.getString("out", "BENCH_parallel.json");
     const std::string baseline_path = args.getString("baseline", "");
+    args.finishParsing();
 
     std::vector<SchemeConfig> schemes;
     std::vector<WorkloadSpec> workloads;

@@ -29,6 +29,7 @@ main(int argc, char** argv)
     ArgParser args(argc, argv);
     const std::uint64_t pages =
         static_cast<std::uint64_t>(args.getInt("pages", 64));
+    args.finishParsing();
 
     const DimmGeometry geometry;
     PageAllocatorSystem allocator(geometry);

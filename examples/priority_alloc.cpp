@@ -81,6 +81,7 @@ main(int argc, char** argv)
         static_cast<std::uint64_t>(args.getInt("refs", 8000));
     const std::uint64_t seed =
         static_cast<std::uint64_t>(args.getInt("seed", 1));
+    args.finishParsing();
 
     std::cout << "Priority allocation: cores 0-3 run mcf under an (n:m) "
                  "allocator,\ncores 4-7 run leslie3d under (1:1), sharing "

@@ -22,6 +22,7 @@ main(int argc, char** argv)
     RunnerConfig cfg;
     cfg.refsPerCore = args.getInt("refs", 20000);
     cfg.seed = args.getInt("seed", 1);
+    args.finishParsing();
 
     const WorkloadSpec workload = workloadFromProfile("mcf");
 

@@ -35,6 +35,10 @@ namespace {
 SchemeConfig
 schemeByName(const std::string& name, const ArgParser& args)
 {
+    // Read the shared ratio up front so --n/--m stay declared options
+    // even for schemes that ignore them.
+    const NmRatio ratio{static_cast<unsigned>(args.getInt("n", 2)),
+                        static_cast<unsigned>(args.getInt("m", 3))};
     SchemeConfig scheme;
     if (name == "din") {
         scheme = SchemeConfig::din8F2();
@@ -46,17 +50,11 @@ schemeByName(const std::string& name, const ArgParser& args)
     } else if (name == "lazyc+preread") {
         scheme = SchemeConfig::lazyCPreRead();
     } else if (name == "nm") {
-        scheme = SchemeConfig::nmOnly(
-            NmRatio{static_cast<unsigned>(args.getInt("n", 2)),
-                    static_cast<unsigned>(args.getInt("m", 3))});
+        scheme = SchemeConfig::nmOnly(ratio);
     } else if (name == "all" || name == "lazyc+preread+nm") {
-        scheme = SchemeConfig::lazyCPreReadNm(
-            NmRatio{static_cast<unsigned>(args.getInt("n", 2)),
-                    static_cast<unsigned>(args.getInt("m", 3))});
+        scheme = SchemeConfig::lazyCPreReadNm(ratio);
     } else if (name == "sdpcm") {
-        scheme = SchemeConfig::sdpcm(
-            NmRatio{static_cast<unsigned>(args.getInt("n", 2)),
-                    static_cast<unsigned>(args.getInt("m", 3))});
+        scheme = SchemeConfig::sdpcm(ratio);
     } else if (name == "fnw") {
         scheme = SchemeConfig::fnwVnc();
     } else {
@@ -72,6 +70,10 @@ schemeByName(const std::string& name, const ArgParser& args)
         args.getBool("wc", scheme.writeCancellation);
     scheme.idleWriteDrain =
         args.getBool("idle-drain", scheme.idleWriteDrain);
+    scheme.maxCancelsPerWrite = static_cast<unsigned>(
+        args.getInt("max-cancels", scheme.maxCancelsPerWrite));
+    scheme.drainBurstWrites = static_cast<unsigned>(
+        args.getInt("drain-burst", scheme.drainBurstWrites));
     return scheme;
 }
 
@@ -100,6 +102,10 @@ main(int argc, char** argv)
             "                    host cores; results are bit-identical "
             "for any N)\n"
             "  --ecp=N --wq=N --wc=0|1 --n=N --m=M --age=F\n"
+            "  --max-cancels=N   cancellation cap per write (default 4)\n"
+            "  --drain-burst=N   writes retired per drain burst (clamped "
+            "to\n"
+            "                    [1, wq/2])\n"
             "  --capture=FILE    write the workload's trace and exit\n"
             "  --replay=FILE     run from a captured trace file\n"
             "\n"
@@ -172,6 +178,8 @@ main(int argc, char** argv)
             "  --quiet           silence progress output (warnings, "
             "breaches and\n"
             "                    the stats dump still print)\n"
+            "  --lax-flags       downgrade the unknown-option fatal to "
+            "a warning\n"
             "  --line-counters   track per-line wear/WD counters\n"
             "  --heatmap=KIND    export a spatial heatmap (implies "
             "--line-counters);\n"
@@ -206,17 +214,10 @@ main(int argc, char** argv)
         static_cast<std::uint64_t>(args.getInt("refs", 10000));
     const std::uint64_t seed =
         static_cast<std::uint64_t>(args.getInt("seed", 1));
-
-    if (args.has("capture")) {
-        const std::string path = args.getString("capture", "out.trace");
-        const WorkloadSpec spec = workloadFromProfile(workload_name);
-        auto stream = spec.makeStream(0, seed);
-        TraceFileWriter writer(path);
-        const auto written = writer.capture(*stream, refs);
-        std::cout << "captured " << written << " records of '"
-                  << workload_name << "' to " << path << "\n";
-        return 0;
-    }
+    const bool want_capture = args.has("capture");
+    const std::string capture_path = args.getString("capture", "out.trace");
+    const bool want_replay = args.has("replay");
+    const std::string replay_path = args.getString("replay", "");
 
     RunnerConfig cfg;
     cfg.refsPerCore = refs;
@@ -258,10 +259,38 @@ main(int argc, char** argv)
         }
     }
 
+    // Output flags used after the run, hoisted so every supported
+    // option is declared before the unknown-flag check below.
+    const std::string epoch_csv_path = args.getString("epoch-csv", "");
+    const std::string epoch_json_path = args.getString("epoch-json", "");
+    const std::string heatmap_kind_name =
+        args.getString("heatmap", "writes");
+    const unsigned heatmap_bins =
+        static_cast<unsigned>(args.getInt("heatmap-bins", 64));
+    const bool has_heatmap_csv = args.has("heatmap-csv");
+    const std::string heatmap_csv_arg = args.getString("heatmap-csv", "");
+    const bool has_heatmap_pgm = args.has("heatmap-pgm");
+    const std::string heatmap_pgm_arg = args.getString("heatmap-pgm", "");
+    const std::string report_path = args.getString("report", "");
+
     const SchemeConfig scheme =
         schemeByName(args.getString("scheme", "lazyc+preread"), args);
 
-    if (workload_name == "all" && !args.has("replay")) {
+    // All supported flags have been read; a typo'd option fails fast
+    // here instead of silently no-oping.
+    args.finishParsing();
+
+    if (want_capture) {
+        const WorkloadSpec spec = workloadFromProfile(workload_name);
+        auto stream = spec.makeStream(0, seed);
+        TraceFileWriter writer(capture_path);
+        const auto written = writer.capture(*stream, refs);
+        std::cout << "captured " << written << " records of '"
+                  << workload_name << "' to " << capture_path << "\n";
+        return 0;
+    }
+
+    if (workload_name == "all" && !want_replay) {
         // Matrix mode: the scheme over every Table 3 workload, fanned
         // out across --jobs workers with ordered progress on stderr.
         const auto workloads = standardWorkloads();
@@ -358,8 +387,8 @@ main(int argc, char** argv)
     }
 
     WorkloadSpec spec;
-    if (args.has("replay")) {
-        const std::string path = args.getString("replay", "");
+    if (want_replay) {
+        const std::string path = replay_path;
         spec.name = "replay:" + path;
         spec.makeStream = [path](unsigned, std::uint64_t) {
             return std::make_unique<TraceFileStream>(path);
@@ -399,8 +428,8 @@ main(int argc, char** argv)
         }
     }
     if (m.epochs.enabled()) {
-        const std::string csv_path = args.getString("epoch-csv", "");
-        const std::string json_path = args.getString("epoch-json", "");
+        const std::string& csv_path = epoch_csv_path;
+        const std::string& json_path = epoch_json_path;
         if (!csv_path.empty()) {
             std::ofstream os(csv_path);
             if (!os)
@@ -423,23 +452,22 @@ main(int argc, char** argv)
         }
     }
     if (want_heatmap) {
-        const std::string kind_name = args.getString("heatmap", "writes");
         HeatmapKind kind;
         try {
-            kind = heatmapKindByName(kind_name);
+            kind = heatmapKindByName(heatmap_kind_name);
         } catch (const std::invalid_argument& e) {
             SDPCM_FATAL(e.what());
         }
         const DimmGeometry geom; // runOne uses the default Table 2 DIMM
         const Heatmap map = buildHeatmap(
             m.lines, kind, geom.banks(), geom.linesPerRow(),
-            static_cast<unsigned>(args.getInt("heatmap-bins", 64)));
+            heatmap_bins);
         const std::string base = "heatmap_" + std::string(
             heatmapKindName(kind));
         const std::string csv_path =
-            args.getString("heatmap-csv", base + ".csv");
+            has_heatmap_csv ? heatmap_csv_arg : base + ".csv";
         const std::string pgm_path =
-            args.getString("heatmap-pgm", base + ".pgm");
+            has_heatmap_pgm ? heatmap_pgm_arg : base + ".pgm";
         if (!csv_path.empty()) {
             std::ofstream os(csv_path);
             if (!os)
@@ -501,7 +529,6 @@ main(int argc, char** argv)
                   << " outstanding, " << m.wd.blame.size()
                   << " aggressor line(s)\n";
     }
-    const std::string report_path = args.getString("report", "");
     if (!report_path.empty()) {
         RunReport report;
         report.bench = "sdpcm_cli";

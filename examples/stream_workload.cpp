@@ -33,6 +33,7 @@ main(int argc, char** argv)
         static_cast<std::uint64_t>(args.getInt("mb", 16)) << 20;
     const unsigned passes =
         static_cast<unsigned>(args.getInt("passes", 2));
+    args.finishParsing();
     const std::uint64_t lines = array_bytes / 64;
 
     std::cout << "STREAM behind the Table 2 cache hierarchy: 3 arrays x "

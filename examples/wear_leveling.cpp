@@ -28,6 +28,7 @@ main(int argc, char** argv)
         static_cast<std::uint64_t>(args.getInt("lines", 256));
     const std::uint64_t writes =
         static_cast<std::uint64_t>(args.getInt("writes", 500000));
+    args.finishParsing();
 
     std::cout << "Start-Gap over " << lines << " lines, " << writes
               << " writes to one hot line\n\n";

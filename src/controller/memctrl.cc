@@ -31,9 +31,11 @@ MemoryController::MemoryController(EventQueue& events, PcmDevice& device,
 {
     SDPCM_ASSERT(scheme_.writeQueueEntries >= 1, "write queue too small");
     // A drain burst never exceeds half the queue: small queues must not
-    // block reads for a whole-queue flush.
-    scheme_.drainBurstWrites = std::min(
-        scheme_.drainBurstWrites,
+    // block reads for a whole-queue flush. The lower bound matters too:
+    // a zero burst would start a drain that can never retire a write,
+    // tripping the "drain state out of sync" assert on the first kick.
+    scheme_.drainBurstWrites = std::clamp(
+        scheme_.drainBurstWrites, 1u,
         std::max(1u, scheme_.writeQueueEntries / 2));
     if (!scheme_.superDense) {
         SDPCM_ASSERT(!scheme_.vnc,

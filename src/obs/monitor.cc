@@ -39,6 +39,8 @@ parseNumber(const std::string& rule, const std::string& text)
         const double v = std::stod(text, &used);
         if (used != text.size())
             badRule(rule, "trailing characters in number '" + text + "'");
+        if (!std::isfinite(v))
+            badRule(rule, "limit must be finite, got '" + text + "'");
         return v;
     } catch (const std::invalid_argument&) {
         badRule(rule, "expected a number, got '" + text + "'");

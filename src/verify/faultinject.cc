@@ -30,14 +30,24 @@ FaultSpec::parse(const std::string& text)
         const std::string value = item.substr(eq + 1);
         try {
             std::size_t used = 0;
+            // std::stoul/stoull silently wrap negative input
+            // ("ecp=-1" -> 4294967295), so reject a leading sign up
+            // front for the unsigned keys.
+            const bool negative = !value.empty() && value[0] == '-';
             if (key == "stuck") {
                 spec.stuckPerLine = std::stod(value, &used);
             } else if (key == "ecp") {
-                spec.ecpSteal = static_cast<unsigned>(
-                    std::stoul(value, &used));
+                if (negative)
+                    throw std::invalid_argument("ecp must be >= 0");
+                const unsigned long v = std::stoul(value, &used);
+                if (v > 0xffffffffUL)
+                    throw std::out_of_range("ecp");
+                spec.ecpSteal = static_cast<unsigned>(v);
             } else if (key == "wd") {
                 spec.wdBoost = std::stod(value, &used);
             } else if (key == "seed") {
+                if (negative)
+                    throw std::invalid_argument("seed must be >= 0");
                 spec.seed = std::stoull(value, &used);
             } else {
                 throw std::invalid_argument(
@@ -54,10 +64,13 @@ FaultSpec::parse(const std::string& text)
                                         item + "'");
         }
     }
-    if (spec.stuckPerLine < 0.0 || spec.wdBoost < 0.0 ||
-        spec.wdBoost > 1.0) {
+    // Written as negated "in range" checks so NaN (which compares false
+    // against everything) is rejected rather than slipping through.
+    if (!(spec.stuckPerLine >= 0.0 &&
+          std::isfinite(spec.stuckPerLine)) ||
+        !(spec.wdBoost >= 0.0 && spec.wdBoost <= 1.0)) {
         throw std::invalid_argument(
-            "fault spec needs stuck>=0 and wd in [0,1]");
+            "fault spec needs finite stuck>=0 and wd in [0,1]");
     }
     return spec;
 }

@@ -1,0 +1,541 @@
+#include "verify/fuzz.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+#include "sim/system.hh"
+
+namespace sdpcm {
+
+SchemeConfig
+FuzzScenario::toScheme() const
+{
+    // Same name set as the sdpcm_cli --scheme factory.
+    SchemeConfig sc;
+    const NmRatio ratio{n, m};
+    if (scheme == "din") {
+        sc = SchemeConfig::din8F2();
+    } else if (scheme == "baseline" || scheme == "vnc") {
+        sc = SchemeConfig::baselineVnc();
+    } else if (scheme == "lazyc") {
+        sc = SchemeConfig::lazyC(ecp);
+    } else if (scheme == "lazyc+preread") {
+        sc = SchemeConfig::lazyCPreRead();
+    } else if (scheme == "nm") {
+        sc = SchemeConfig::nmOnly(ratio);
+    } else if (scheme == "sdpcm") {
+        sc = SchemeConfig::sdpcm(ratio);
+    } else if (scheme == "fnw") {
+        sc = SchemeConfig::fnwVnc();
+    } else {
+        throw std::runtime_error("fuzz scenario: unknown scheme '" +
+                                 scheme + "'");
+    }
+    sc.ecpEntries = ecp;
+    sc.writeQueueEntries = wq;
+    sc.writeCancellation = wc;
+    sc.maxCancelsPerWrite = maxCancels;
+    sc.drainBurstWrites = drainBurst;
+    sc.idleWriteDrain = idleDrain;
+    return sc;
+}
+
+FaultSpec
+FuzzScenario::toFaults() const
+{
+    FaultSpec f;
+    f.stuckPerLine = stuck;
+    f.ecpSteal = ecpSteal;
+    f.wdBoost = wd;
+    f.seed = faultSeed;
+    return f;
+}
+
+std::string
+FuzzScenario::describe() const
+{
+    std::ostringstream os;
+    os << scheme << "/" << workload << " wc=" << (wc ? 1 : 0)
+       << " wq=" << wq << " ecp=" << ecp;
+    if (drainBurst != 16)
+        os << " drain-burst=" << drainBurst;
+    if (maxCancels != 4)
+        os << " max-cancels=" << maxCancels;
+    if (scheme == "nm" || scheme == "sdpcm")
+        os << " (" << n << ":" << m << ")";
+    if (idleDrain)
+        os << " idle-drain";
+    os << " cores=" << cores << " refs=" << refs << " seed=" << seed;
+    if (age > 0.0)
+        os << " age=" << age;
+    if (stuck > 0.0 || ecpSteal > 0 || wd > 0.0) {
+        os << " inject[stuck=" << stuck << ",ecp=" << ecpSteal
+           << ",wd=" << wd << ",seed=" << faultSeed << "]";
+    }
+    return os.str();
+}
+
+std::string
+FuzzScenario::cliLine() const
+{
+    std::ostringstream os;
+    os << "sdpcm_cli --verify-oracle --scheme=" << scheme
+       << " --workload=" << workload << " --refs=" << refs
+       << " --seed=" << seed << " --cores=" << cores << " --ecp=" << ecp
+       << " --wq=" << wq << " --wc=" << (wc ? 1 : 0)
+       << " --idle-drain=" << (idleDrain ? 1 : 0)
+       << " --max-cancels=" << maxCancels
+       << " --drain-burst=" << drainBurst;
+    if (age > 0.0)
+        os << " --age=" << age;
+    if (scheme == "nm" || scheme == "sdpcm")
+        os << " --n=" << n << " --m=" << m;
+    if (stuck > 0.0 || ecpSteal > 0 || wd > 0.0) {
+        os << " --inject=stuck=" << stuck << ",ecp=" << ecpSteal
+           << ",wd=" << wd << ",seed=" << faultSeed;
+    }
+    return os.str();
+}
+
+void
+FuzzScenario::writeJson(std::ostream& os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("scheme", scheme);
+    w.kv("workload", workload);
+    w.kv("wc", wc);
+    w.kv("idleDrain", idleDrain);
+    w.kv("maxCancels", static_cast<std::uint64_t>(maxCancels));
+    w.kv("drainBurst", static_cast<std::uint64_t>(drainBurst));
+    w.kv("ecp", static_cast<std::uint64_t>(ecp));
+    w.kv("wq", static_cast<std::uint64_t>(wq));
+    w.kv("n", static_cast<std::uint64_t>(n));
+    w.kv("m", static_cast<std::uint64_t>(m));
+    w.kv("cores", static_cast<std::uint64_t>(cores));
+    w.kv("refs", refs);
+    w.kv("seed", seed);
+    w.kv("age", age);
+    w.kv("stuck", stuck);
+    w.kv("ecpSteal", static_cast<std::uint64_t>(ecpSteal));
+    w.kv("wd", wd);
+    w.kv("faultSeed", faultSeed);
+    w.endObject();
+    os << "\n";
+}
+
+std::string
+FuzzScenario::toJson() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+namespace {
+
+std::uint64_t
+jsonU64(const JsonValue& v, const char* key)
+{
+    const JsonValue& field = v.at(key);
+    if (field.type != JsonValue::Type::Number || field.number < 0.0)
+        throw std::runtime_error(std::string("fuzz spec: field '") + key +
+                                 "' must be a non-negative number");
+    return static_cast<std::uint64_t>(field.number);
+}
+
+double
+jsonDouble(const JsonValue& v, const char* key)
+{
+    const JsonValue& field = v.at(key);
+    if (field.type != JsonValue::Type::Number)
+        throw std::runtime_error(std::string("fuzz spec: field '") + key +
+                                 "' must be a number");
+    return field.number;
+}
+
+bool
+jsonBool(const JsonValue& v, const char* key)
+{
+    const JsonValue& field = v.at(key);
+    if (field.type != JsonValue::Type::Bool)
+        throw std::runtime_error(std::string("fuzz spec: field '") + key +
+                                 "' must be a boolean");
+    return field.boolean;
+}
+
+std::string
+jsonString(const JsonValue& v, const char* key)
+{
+    const JsonValue& field = v.at(key);
+    if (field.type != JsonValue::Type::String)
+        throw std::runtime_error(std::string("fuzz spec: field '") + key +
+                                 "' must be a string");
+    return field.str;
+}
+
+} // namespace
+
+FuzzScenario
+FuzzScenario::fromJson(const std::string& text)
+{
+    JsonValue doc;
+    try {
+        doc = parseJson(text);
+    } catch (const std::runtime_error& e) {
+        throw std::runtime_error(std::string("fuzz spec: ") + e.what());
+    }
+    if (!doc.isObject())
+        throw std::runtime_error("fuzz spec: top level must be an object");
+
+    static const char* const known[] = {
+        "scheme", "workload", "wc",    "idleDrain", "maxCancels",
+        "drainBurst", "ecp", "wq",     "n",        "m",     "cores",
+        "refs", "seed", "age", "stuck", "ecpSteal", "wd", "faultSeed",
+    };
+    for (const auto& [key, value] : doc.object) {
+        (void)value;
+        bool ok = false;
+        for (const char* k : known)
+            ok = ok || key == k;
+        if (!ok)
+            throw std::runtime_error("fuzz spec: unknown field '" + key +
+                                     "'");
+    }
+
+    FuzzScenario s;
+    try {
+        s.scheme = jsonString(doc, "scheme");
+        s.workload = jsonString(doc, "workload");
+        s.wc = jsonBool(doc, "wc");
+        s.idleDrain = jsonBool(doc, "idleDrain");
+        s.maxCancels = static_cast<unsigned>(jsonU64(doc, "maxCancels"));
+        s.drainBurst = static_cast<unsigned>(jsonU64(doc, "drainBurst"));
+        s.ecp = static_cast<unsigned>(jsonU64(doc, "ecp"));
+        s.wq = static_cast<unsigned>(jsonU64(doc, "wq"));
+        s.n = static_cast<unsigned>(jsonU64(doc, "n"));
+        s.m = static_cast<unsigned>(jsonU64(doc, "m"));
+        s.cores = static_cast<unsigned>(jsonU64(doc, "cores"));
+        s.refs = jsonU64(doc, "refs");
+        s.seed = jsonU64(doc, "seed");
+        s.age = jsonDouble(doc, "age");
+        s.stuck = jsonDouble(doc, "stuck");
+        s.ecpSteal = static_cast<unsigned>(jsonU64(doc, "ecpSteal"));
+        s.wd = jsonDouble(doc, "wd");
+        s.faultSeed = jsonU64(doc, "faultSeed");
+    } catch (const std::out_of_range&) {
+        throw std::runtime_error("fuzz spec: missing required field");
+    }
+    if (!(s.age >= 0.0 && s.age <= 1.0))
+        throw std::runtime_error("fuzz spec: age must be in [0,1]");
+    if (s.wq == 0 || s.cores == 0 || s.m == 0 || s.n == 0 || s.n > s.m)
+        throw std::runtime_error("fuzz spec: needs wq>0, cores>0 and "
+                                 "1<=n<=m");
+    // Reuse the injector's own validation (finite, in-range).
+    (void)FaultSpec::parse("stuck=" + std::to_string(s.stuck) +
+                           ",wd=" + std::to_string(s.wd));
+    return s;
+}
+
+FuzzScenario
+FuzzScenario::fromJsonFile(const std::string& path)
+{
+    std::ifstream is(path);
+    if (!is)
+        throw std::runtime_error("cannot open fuzz spec: " + path);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return fromJson(buf.str());
+}
+
+bool
+FuzzScenario::operator==(const FuzzScenario& other) const
+{
+    return scheme == other.scheme && workload == other.workload &&
+           wc == other.wc && idleDrain == other.idleDrain &&
+           maxCancels == other.maxCancels &&
+           drainBurst == other.drainBurst && ecp == other.ecp &&
+           wq == other.wq && n == other.n && m == other.m &&
+           cores == other.cores && refs == other.refs &&
+           seed == other.seed && age == other.age &&
+           stuck == other.stuck &&
+           ecpSteal == other.ecpSteal && wd == other.wd &&
+           faultSeed == other.faultSeed;
+}
+
+const char*
+outcomeName(FuzzOutcome outcome)
+{
+    switch (outcome) {
+      case FuzzOutcome::Clean:
+        return "clean";
+      case FuzzOutcome::OracleMismatch:
+        return "oracle-mismatch";
+      case FuzzOutcome::Stall:
+        return "stall";
+      case FuzzOutcome::Crash:
+        return "crash";
+    }
+    return "?";
+}
+
+Tick
+fuzzTickBudget(const FuzzScenario& s)
+{
+    // The worst legitimate fault-free configuration measured (qstress,
+    // wq=2, write cancellation, 4 cores) needs ~3.3k ticks per
+    // reference; budget ~20k per reference plus slack. Heavy fault
+    // storms legitimately cost far more — wd=1 + stuck=10 on fnw
+    // measured ~330k ticks/ref of correction cascades — so the per-ref
+    // budget scales with the storm. Expiry therefore means livelock;
+    // deadlock shows up earlier as a quiescent event queue.
+    const double storm = 1.0 + 40.0 * s.wd + 4.0 * s.stuck;
+    const auto per_ref = static_cast<Tick>(20000.0 * storm);
+    return Tick(4000000) + per_ref * s.refs * s.cores;
+}
+
+FuzzResult
+runScenario(const FuzzScenario& s)
+{
+    SystemConfig sc;
+    sc.scheme = s.toScheme();
+    sc.cores = s.cores;
+    sc.refsPerCore = s.refs;
+    sc.seed = s.seed;
+    sc.maxTicks = fuzzTickBudget(s);
+    sc.aging.ageFraction = s.age;
+    sc.verifyOracle = true;
+    sc.faults = s.toFaults();
+
+    System system(sc, workloadFromProfile(s.workload));
+    system.run();
+
+    FuzzResult r;
+    unsigned unfinished = 0;
+    for (const auto& core : system.cores()) {
+        if (!core->done())
+            unfinished += 1;
+    }
+    // metrics() also evaluates the telescoping cross-check asserts; an
+    // inconsistent counter ledger aborts here (Crash under the fork
+    // driver).
+    const RunMetrics m = system.metrics();
+    if (unfinished > 0) {
+        r.outcome = FuzzOutcome::Stall;
+        std::ostringstream os;
+        os << unfinished << " of " << s.cores
+           << " cores unfinished at tick " << m.finalTick << " (budget "
+           << fuzzTickBudget(s) << ")";
+        r.detail = os.str();
+        return r;
+    }
+    if (m.oracle.mismatches > 0) {
+        r.outcome = FuzzOutcome::OracleMismatch;
+        r.mismatches = m.oracle.mismatches;
+        std::ostringstream os;
+        os << m.oracle.mismatches << " oracle mismatch(es) over "
+           << m.oracle.readsChecked << " reads / "
+           << m.oracle.commitsChecked << " commits / "
+           << m.oracle.finalLinesChecked << " final lines";
+        r.detail = os.str();
+        return r;
+    }
+    r.outcome = FuzzOutcome::Clean;
+    return r;
+}
+
+FuzzScenario
+randomScenario(Rng& rng)
+{
+    FuzzScenario s;
+
+    static const char* const schemes[] = {
+        "sdpcm", "sdpcm", "sdpcm",   // weighted: the full stack has the
+        "lazyc+preread", "lazyc+preread", // most interacting machinery
+        "lazyc", "nm", "baseline", "fnw", "din",
+    };
+    s.scheme = schemes[rng.below(sizeof(schemes) / sizeof(schemes[0]))];
+
+    static const char* const workloads[] = {
+        "qstress", "qstress", "qstress", // adversarial queue pressure
+        "mcf", "mcf",                    // write-heavy, pointer-chasing
+        "stream", "lbm", "gemsFDTD",
+    };
+    s.workload =
+        workloads[rng.below(sizeof(workloads) / sizeof(workloads[0]))];
+
+    s.wc = rng.below(4) != 0; // cancellation found every bug so far
+    s.idleDrain = rng.below(4) == 0;
+    static const unsigned cancel_caps[] = {0, 1, 2, 4, 8};
+    s.maxCancels = cancel_caps[rng.below(5)];
+    // 0 and 1 exercise the controller's clamp; 0 once aborted the drain
+    // state machine (memctrl ctor now clamps to >= 1).
+    static const unsigned drain_bursts[] = {0, 1, 2, 8, 16, 16, 16, 32};
+    s.drainBurst =
+        drain_bursts[rng.below(sizeof(drain_bursts) /
+                               sizeof(drain_bursts[0]))];
+
+    static const unsigned wqs[] = {1, 2, 2, 4, 4, 8, 16, 32};
+    s.wq = wqs[rng.below(sizeof(wqs) / sizeof(wqs[0]))];
+    static const unsigned ecps[] = {0, 1, 2, 4, 6, 10};
+    s.ecp = ecps[rng.below(sizeof(ecps) / sizeof(ecps[0]))];
+
+    static const unsigned nm_pairs[][2] = {
+        {1, 1}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {7, 8},
+    };
+    const unsigned pick =
+        static_cast<unsigned>(rng.below(sizeof(nm_pairs) /
+                                        sizeof(nm_pairs[0])));
+    s.n = nm_pairs[pick][0];
+    s.m = nm_pairs[pick][1];
+
+    s.cores = 1 + static_cast<unsigned>(rng.below(6));
+    static const double ages[] = {0.0, 0.0, 0.0, 0.5, 0.9};
+    s.age = ages[rng.below(5)];
+    static const std::uint64_t ref_counts[] = {300, 800, 1500, 3000};
+    s.refs = ref_counts[rng.below(4)];
+    s.seed = 1 + rng.below(1u << 30);
+
+    // Fault storm in ~60% of scenarios.
+    if (rng.below(5) < 3) {
+        static const double stucks[] = {0.0, 0.1, 0.5, 1.5, 4.0};
+        s.stuck = stucks[rng.below(5)];
+        s.ecpSteal = static_cast<unsigned>(rng.below(7));
+        static const double wds[] = {0.0, 0.005, 0.02, 0.08, 0.3};
+        s.wd = wds[rng.below(5)];
+        s.faultSeed = 1 + rng.below(1000);
+    }
+    return s;
+}
+
+FuzzScenario
+shrink(const FuzzScenario& failing, const FuzzPredicate& still_fails,
+       unsigned* probes)
+{
+    FuzzScenario best = failing;
+    unsigned probe_count = 0;
+
+    // One reduction candidate: mutate a copy, keep it if it still
+    // fails. Returns true when the candidate was accepted (progress).
+    const auto attempt = [&](FuzzScenario candidate) {
+        if (candidate == best)
+            return false;
+        probe_count += 1;
+        if (!still_fails(candidate))
+            return false;
+        best = candidate;
+        return true;
+    };
+
+    bool progress = true;
+    while (progress) {
+        progress = false;
+
+        // Fewest refs first — the dominant cost of a reproducer.
+        for (const std::uint64_t div : {16u, 4u, 2u}) {
+            FuzzScenario c = best;
+            c.refs = std::max<std::uint64_t>(1, best.refs / div);
+            progress |= attempt(c);
+        }
+        {
+            FuzzScenario c = best;
+            if (c.refs > 1) {
+                c.refs -= 1;
+                progress |= attempt(c);
+            }
+        }
+
+        // Fewer cores (the -1 step reaches minima the halving jumps
+        // over, e.g. 3 -> 2 when 3/2 = 1 no longer reproduces).
+        for (const unsigned div : {4u, 2u}) {
+            FuzzScenario c = best;
+            c.cores = std::max(1u, best.cores / div);
+            progress |= attempt(c);
+        }
+        {
+            FuzzScenario c = best;
+            if (c.cores > 1) {
+                c.cores -= 1;
+                progress |= attempt(c);
+            }
+        }
+
+        // Fewest injected faults: drop each channel entirely, then
+        // halve.
+        {
+            FuzzScenario c = best;
+            c.stuck = 0.0;
+            progress |= attempt(c);
+        }
+        {
+            FuzzScenario c = best;
+            c.ecpSteal = 0;
+            progress |= attempt(c);
+        }
+        {
+            FuzzScenario c = best;
+            c.wd = 0.0;
+            progress |= attempt(c);
+        }
+        {
+            FuzzScenario c = best;
+            c.stuck = best.stuck / 2.0;
+            if (c.stuck < 1e-3)
+                c.stuck = 0.0;
+            progress |= attempt(c);
+        }
+        {
+            FuzzScenario c = best;
+            c.wd = best.wd / 2.0;
+            if (c.wd < 1e-4)
+                c.wd = 0.0;
+            progress |= attempt(c);
+        }
+
+        {
+            FuzzScenario c = best;
+            c.age = 0.0;
+            progress |= attempt(c);
+        }
+
+        // Simpler knobs: cancellation off, no idle drain, single cap.
+        {
+            FuzzScenario c = best;
+            c.wc = false;
+            progress |= attempt(c);
+        }
+        {
+            FuzzScenario c = best;
+            c.idleDrain = false;
+            progress |= attempt(c);
+        }
+        {
+            FuzzScenario c = best;
+            c.maxCancels = std::max(1u, best.maxCancels / 2);
+            progress |= attempt(c);
+        }
+        {
+            FuzzScenario c = best;
+            c.drainBurst = 16; // scheme default
+            progress |= attempt(c);
+        }
+
+        // Larger queue = less pressure = simpler schedule, when the bug
+        // allows it.
+        {
+            FuzzScenario c = best;
+            c.wq = std::min(32u, best.wq * 2);
+            progress |= attempt(c);
+        }
+    }
+
+    if (probes)
+        *probes = probe_count;
+    return best;
+}
+
+} // namespace sdpcm

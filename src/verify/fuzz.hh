@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Randomized scenario fuzzer over the shadow-memory oracle.
+ *
+ * A FuzzScenario is one point in the (scheme x cancellation x injected
+ * faults x queue pressure x workload x (n:m) x seed) space. runScenario
+ * executes it with the oracle armed and classifies the outcome:
+ *
+ *   Clean          — run finished, oracle agreed on every check
+ *   OracleMismatch — the shadow memory caught wrong data
+ *   Stall          — the tick budget expired (or the event queue went
+ *                    quiescent) with cores still unfinished
+ *   Crash          — the process died (telescoping SDPCM_ASSERT, panic,
+ *                    sanitizer abort); only observable from the
+ *                    fork-per-trial driver in tools/sdpcm_fuzz.cpp,
+ *                    which maps a child's signal exit onto this value
+ *
+ * Failing scenarios are shrunk to a minimal reproducer by a greedy
+ * fixed-point pass (see shrink below) and emitted as a replayable JSON
+ * spec plus the exact sdpcm_cli line. Scenario generation and shrinking
+ * are deterministic: the same master seed always visits the same
+ * scenarios in the same order, so a CI failure is reproducible from its
+ * trial number alone.
+ */
+
+#ifndef SDPCM_VERIFY_FUZZ_HH
+#define SDPCM_VERIFY_FUZZ_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "common/rng.hh"
+#include "controller/scheme.hh"
+#include "pcm/timing.hh"
+#include "verify/faultinject.hh"
+
+namespace sdpcm {
+
+/** One fuzzable simulation configuration (JSON-serializable). */
+struct FuzzScenario
+{
+    std::string scheme = "sdpcm"; //!< sdpcm_cli scheme name
+    std::string workload = "mcf"; //!< Table 3 profile or qstress
+    bool wc = false;              //!< write cancellation
+    bool idleDrain = false;       //!< drain one write on idle banks
+    unsigned maxCancels = 4;      //!< cancellation cap per write
+    unsigned drainBurst = 16;     //!< writes retired per drain burst
+    unsigned ecp = 6;             //!< ECP entries per line
+    unsigned wq = 32;             //!< write-queue entries per bank
+    unsigned n = 2;               //!< (n:m) numerator
+    unsigned m = 3;               //!< (n:m) denominator
+    unsigned cores = 4;
+    std::uint64_t refs = 2000;    //!< memory references per core
+    std::uint64_t seed = 1;       //!< workload/system RNG seed
+    double age = 0.0;             //!< consumed-lifetime fraction [0,1]
+    double stuck = 0.0;           //!< mean injected stuck cells per line
+    unsigned ecpSteal = 0;        //!< injected dead ECP entries per line
+    double wd = 0.0;              //!< forced WD-flip probability
+    std::uint64_t faultSeed = 1;  //!< injector RNG seed
+
+    /** Materialise the controller/device scheme configuration. */
+    SchemeConfig toScheme() const;
+
+    /** Materialise the fault-injection spec. */
+    FaultSpec toFaults() const;
+
+    /** One-line summary for progress and triage output. */
+    std::string describe() const;
+
+    /**
+     * The exact sdpcm_cli invocation reproducing this scenario
+     * (including --verify-oracle), for copy-paste triage.
+     */
+    std::string cliLine() const;
+
+    /** Replayable JSON spec (parse back with fromJson). */
+    void writeJson(std::ostream& os) const;
+    std::string toJson() const;
+
+    /**
+     * Parse a spec produced by writeJson. Unknown keys are rejected and
+     * malformed values throw std::runtime_error, so a stale corpus file
+     * fails loudly instead of silently running a different scenario.
+     */
+    static FuzzScenario fromJson(const std::string& text);
+    static FuzzScenario fromJsonFile(const std::string& path);
+
+    bool operator==(const FuzzScenario& other) const;
+    bool operator!=(const FuzzScenario& other) const
+    {
+        return !(*this == other);
+    }
+};
+
+/** Outcome classification of one scenario execution. */
+enum class FuzzOutcome
+{
+    Clean,
+    OracleMismatch,
+    Stall,
+    Crash,
+};
+
+const char* outcomeName(FuzzOutcome outcome);
+
+/** Result of an in-process scenario run. */
+struct FuzzResult
+{
+    FuzzOutcome outcome = FuzzOutcome::Clean;
+    std::uint64_t mismatches = 0; //!< oracle mismatch count
+    std::string detail;           //!< human-readable triage hint
+};
+
+/**
+ * Tick budget for a scenario: generous enough that the slowest
+ * legitimate configuration (tiny queue, qstress, write cancellation)
+ * finishes with an order of magnitude to spare, so expiry means a
+ * genuine livelock. Deadlocks (quiescent event queue, unfinished cores)
+ * are detected regardless of the budget.
+ */
+Tick fuzzTickBudget(const FuzzScenario& s);
+
+/**
+ * Run one scenario in-process with the oracle armed. Never throws;
+ * telescoping-assert failures abort the process (use the fork driver to
+ * observe those as Crash).
+ */
+FuzzResult runScenario(const FuzzScenario& s);
+
+/**
+ * Draw the next scenario from `rng`. Dimensions are weighted toward the
+ * adversarial corners that found bugs before: small write queues, write
+ * cancellation on, (n:m) sharing, qstress, heavy fault storms.
+ */
+FuzzScenario randomScenario(Rng& rng);
+
+/**
+ * Predicate deciding whether a candidate scenario still reproduces the
+ * failure being shrunk (true = still failing).
+ */
+using FuzzPredicate = std::function<bool(const FuzzScenario&)>;
+
+/**
+ * Greedily shrink `failing` to a minimal still-failing reproducer:
+ * repeatedly try an ordered list of reductions (fewer refs, fewer
+ * cores, fewer injected faults, simpler knobs) and accept the first
+ * that still fails, until a full pass accepts nothing. Deterministic
+ * for a deterministic predicate; the result satisfies the predicate.
+ * `probes`, when non-null, receives the number of predicate calls.
+ */
+FuzzScenario shrink(const FuzzScenario& failing,
+                    const FuzzPredicate& still_fails,
+                    unsigned* probes = nullptr);
+
+} // namespace sdpcm
+
+#endif // SDPCM_VERIFY_FUZZ_HH

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/args.hh"
 #include "common/bitops.hh"
@@ -215,6 +216,77 @@ TEST(ArgParser, ParsesKeyValueAndFlags)
     EXPECT_DOUBLE_EQ(args.getDouble("ratio", 0.0), 0.5);
     EXPECT_EQ(args.getString("name", ""), "mcf");
     EXPECT_EQ(args.getInt("missing", 7), 7);
+    args.finishParsing(); // every key consumed: no fatal
+}
+
+TEST(ArgParser, ParseIntStrict)
+{
+    EXPECT_EQ(ArgParser::parseInt("42"), 42);
+    EXPECT_EQ(ArgParser::parseInt("-7"), -7);
+    EXPECT_EQ(ArgParser::parseInt("0x10"), 16);
+    // "10k" used to silently truncate to 10; "banana" to 0.
+    EXPECT_THROW(ArgParser::parseInt("10k"), std::invalid_argument);
+    EXPECT_THROW(ArgParser::parseInt("banana"), std::invalid_argument);
+    EXPECT_THROW(ArgParser::parseInt(""), std::invalid_argument);
+    EXPECT_THROW(ArgParser::parseInt("1.5"), std::invalid_argument);
+    EXPECT_THROW(ArgParser::parseInt("99999999999999999999999999"),
+                 std::invalid_argument);
+}
+
+TEST(ArgParser, ParseDoubleStrict)
+{
+    EXPECT_DOUBLE_EQ(ArgParser::parseDouble("0.25"), 0.25);
+    EXPECT_DOUBLE_EQ(ArgParser::parseDouble("1e8"), 1e8);
+    EXPECT_DOUBLE_EQ(ArgParser::parseDouble("-3"), -3.0);
+    EXPECT_THROW(ArgParser::parseDouble("0.5x"), std::invalid_argument);
+    EXPECT_THROW(ArgParser::parseDouble("banana"), std::invalid_argument);
+    EXPECT_THROW(ArgParser::parseDouble(""), std::invalid_argument);
+    EXPECT_THROW(ArgParser::parseDouble("nan"), std::invalid_argument);
+    EXPECT_THROW(ArgParser::parseDouble("inf"), std::invalid_argument);
+    EXPECT_THROW(ArgParser::parseDouble("1e999"), std::invalid_argument);
+}
+
+TEST(ArgParser, ParseBoolStrict)
+{
+    EXPECT_TRUE(ArgParser::parseBool("1"));
+    EXPECT_TRUE(ArgParser::parseBool("true"));
+    EXPECT_TRUE(ArgParser::parseBool("on"));
+    EXPECT_FALSE(ArgParser::parseBool("0"));
+    EXPECT_FALSE(ArgParser::parseBool("false"));
+    EXPECT_FALSE(ArgParser::parseBool("off"));
+    EXPECT_THROW(ArgParser::parseBool("maybe"), std::invalid_argument);
+    EXPECT_THROW(ArgParser::parseBool(""), std::invalid_argument);
+}
+
+TEST(ArgParserDeath, GetIntFatalsOnGarbage)
+{
+    const char* argv[] = {"prog", "--refs=10k"};
+    ArgParser args(2, const_cast<char**>(argv));
+    EXPECT_EXIT(args.getInt("refs", 0),
+                ::testing::ExitedWithCode(1), "bad value for --refs=10k");
+}
+
+TEST(ArgParserDeath, GetDoubleFatalsOnGarbage)
+{
+    const char* argv[] = {"prog", "--age=old"};
+    ArgParser args(2, const_cast<char**>(argv));
+    EXPECT_EXIT(args.getDouble("age", 0.0),
+                ::testing::ExitedWithCode(1), "bad value for --age=old");
+}
+
+TEST(ArgParserDeath, FinishParsingFatalsOnUnknownFlag)
+{
+    const char* argv[] = {"prog", "--telemetery=f.jsonl"};
+    ArgParser args(2, const_cast<char**>(argv));
+    EXPECT_EXIT(args.finishParsing(), ::testing::ExitedWithCode(1),
+                "unknown option\\(s\\): --telemetery");
+}
+
+TEST(ArgParser, LaxFlagsDowngradesUnknownToWarning)
+{
+    const char* argv[] = {"prog", "--telemetery=f.jsonl", "--lax-flags"};
+    ArgParser args(3, const_cast<char**>(argv));
+    args.finishParsing(); // warns instead of exiting
 }
 
 } // namespace

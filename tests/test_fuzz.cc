@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Tests for the scenario fuzzer (verify/fuzz.hh): JSON spec round-trip
+ * and strict parsing, deterministic scenario generation, the greedy
+ * shrinker against planted invariants, outcome classification of real
+ * runs, and shrunk-reproducer regression scenarios for bugs the fuzzer
+ * (or its probe sweeps) surfaced.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hh"
+#include "verify/fuzz.hh"
+
+namespace sdpcm {
+namespace {
+
+FuzzScenario
+sampleScenario()
+{
+    FuzzScenario s;
+    s.scheme = "sdpcm";
+    s.workload = "qstress";
+    s.wc = true;
+    s.idleDrain = true;
+    s.maxCancels = 2;
+    s.drainBurst = 8;
+    s.ecp = 4;
+    s.wq = 2;
+    s.n = 1;
+    s.m = 3;
+    s.cores = 3;
+    s.refs = 1234;
+    s.seed = 42;
+    s.age = 0.5;
+    s.stuck = 0.25;
+    s.ecpSteal = 2;
+    s.wd = 0.01;
+    s.faultSeed = 7;
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// JSON spec round-trip
+// ---------------------------------------------------------------------
+
+TEST(FuzzSpec, JsonRoundTripPreservesEveryField)
+{
+    const FuzzScenario s = sampleScenario();
+    const FuzzScenario back = FuzzScenario::fromJson(s.toJson());
+    EXPECT_EQ(s, back);
+    // Spec -> JSON -> spec -> JSON is bit-identical, so a corpus file
+    // rewritten by tooling never churns in review.
+    EXPECT_EQ(s.toJson(), back.toJson());
+}
+
+TEST(FuzzSpec, JsonRoundTripOfDefaults)
+{
+    const FuzzScenario s;
+    const FuzzScenario back = FuzzScenario::fromJson(s.toJson());
+    EXPECT_EQ(s, back);
+    EXPECT_EQ(s.toJson(), back.toJson());
+}
+
+TEST(FuzzSpec, RejectsUnknownField)
+{
+    FuzzScenario s;
+    std::string json = s.toJson();
+    json.replace(json.find("\"scheme\""), 8, "\"shceme\"");
+    EXPECT_THROW((void)FuzzScenario::fromJson(json), std::runtime_error);
+}
+
+TEST(FuzzSpec, RejectsMissingField)
+{
+    // Dropping a required key must fail loudly, not default silently: a
+    // stale corpus spec should never run a different scenario.
+    EXPECT_THROW((void)FuzzScenario::fromJson("{\"scheme\": \"sdpcm\"}"),
+                 std::runtime_error);
+}
+
+TEST(FuzzSpec, RejectsMalformedValues)
+{
+    const FuzzScenario s = sampleScenario();
+    auto mutate = [&s](const std::string& key, const std::string& val) {
+        std::string json = s.toJson();
+        const std::string needle = "\"" + key + "\":";
+        const auto at = json.find(needle) + needle.size();
+        const auto end = json.find_first_of(",}", at);
+        json.replace(at, end - at, " " + val);
+        return json;
+    };
+    EXPECT_THROW((void)FuzzScenario::fromJson(mutate("wq", "0")),
+                 std::runtime_error);
+    EXPECT_THROW((void)FuzzScenario::fromJson(mutate("cores", "0")),
+                 std::runtime_error);
+    EXPECT_THROW((void)FuzzScenario::fromJson(mutate("age", "1.5")),
+                 std::runtime_error);
+    EXPECT_THROW((void)FuzzScenario::fromJson(mutate("n", "9")),
+                 std::runtime_error); // n > m
+    EXPECT_THROW((void)FuzzScenario::fromJson(mutate("wc", "1")),
+                 std::runtime_error); // number where bool expected
+    EXPECT_THROW((void)FuzzScenario::fromJson(mutate("refs", "-1")),
+                 std::runtime_error);
+    EXPECT_THROW((void)FuzzScenario::fromJson("not json"),
+                 std::runtime_error);
+}
+
+TEST(FuzzSpec, CliLineIsFaithful)
+{
+    const FuzzScenario s = sampleScenario();
+    const std::string cli = s.cliLine();
+    // Every knob toScheme() applies must appear on the CLI line, or the
+    // printed reproducer would run a different scenario than the spec.
+    for (const char* flag :
+         {"--verify-oracle", "--scheme=sdpcm", "--workload=qstress",
+          "--refs=1234", "--seed=42", "--cores=3", "--ecp=4", "--wq=2",
+          "--wc=1", "--idle-drain=1", "--max-cancels=2",
+          "--drain-burst=8", "--age=0.5", "--n=1", "--m=3",
+          "--inject=stuck=0.25,ecp=2,wd=0.01,seed=7"}) {
+        EXPECT_NE(cli.find(flag), std::string::npos)
+            << "missing " << flag << " in: " << cli;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario generation
+// ---------------------------------------------------------------------
+
+TEST(FuzzGen, DeterministicInMasterSeed)
+{
+    Rng a(99), b(99);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(randomScenario(a), randomScenario(b));
+    Rng c(100);
+    bool any_diff = false;
+    Rng a2(99);
+    for (int i = 0; i < 50; ++i)
+        any_diff = any_diff || randomScenario(a2) != randomScenario(c);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(FuzzGen, GeneratesValidScenarios)
+{
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        const FuzzScenario s = randomScenario(rng);
+        EXPECT_GE(s.n, 1u);
+        EXPECT_LE(s.n, s.m);
+        EXPECT_GE(s.wq, 1u);
+        EXPECT_GE(s.cores, 1u);
+        EXPECT_GE(s.refs, 1u);
+        EXPECT_GE(s.age, 0.0);
+        EXPECT_LE(s.age, 1.0);
+        // Everything the generator draws must survive its own spec
+        // validation (the corpus is written through this path).
+        EXPECT_NO_THROW((void)FuzzScenario::fromJson(s.toJson()));
+        EXPECT_NO_THROW((void)s.toScheme());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shrinker
+// ---------------------------------------------------------------------
+
+TEST(FuzzShrink, PlantedInvariantShrinksToMinimal)
+{
+    // Planted "bug": fails whenever cancellation is on with a small
+    // queue. The minimum should keep only what the predicate needs.
+    const auto planted = [](const FuzzScenario& s) {
+        return s.wc && s.wq <= 4;
+    };
+    FuzzScenario failing = sampleScenario();
+    ASSERT_TRUE(planted(failing));
+
+    unsigned probes = 0;
+    const FuzzScenario minimal = shrink(failing, planted, &probes);
+    EXPECT_TRUE(planted(minimal));
+    EXPECT_GT(probes, 0u);
+    // Everything irrelevant to the planted predicate got reduced.
+    EXPECT_EQ(minimal.refs, 1u);
+    EXPECT_EQ(minimal.cores, 1u);
+    EXPECT_DOUBLE_EQ(minimal.stuck, 0.0);
+    EXPECT_EQ(minimal.ecpSteal, 0u);
+    EXPECT_DOUBLE_EQ(minimal.wd, 0.0);
+    EXPECT_DOUBLE_EQ(minimal.age, 0.0);
+    EXPECT_FALSE(minimal.idleDrain);
+    EXPECT_EQ(minimal.drainBurst, 16u);
+    // The load-bearing knobs survived.
+    EXPECT_TRUE(minimal.wc);
+    EXPECT_LE(minimal.wq, 4u);
+}
+
+TEST(FuzzShrink, DeterministicForDeterministicPredicate)
+{
+    const auto planted = [](const FuzzScenario& s) {
+        return s.stuck > 0.05;
+    };
+    FuzzScenario failing = sampleScenario();
+    failing.stuck = 3.0;
+    unsigned p1 = 0, p2 = 0;
+    const FuzzScenario m1 = shrink(failing, planted, &p1);
+    const FuzzScenario m2 = shrink(failing, planted, &p2);
+    EXPECT_EQ(m1, m2);
+    EXPECT_EQ(p1, p2);
+    EXPECT_TRUE(planted(m1));
+    // The fault channel the predicate depends on was halved down to
+    // just above the threshold, not dropped.
+    EXPECT_GT(m1.stuck, 0.05);
+    EXPECT_LE(m1.stuck, 0.1875); // 3.0 halved until the next halving fails
+}
+
+TEST(FuzzShrink, ResultAlwaysSatisfiesPredicate)
+{
+    // Predicate over an awkward interaction: only fails on multi-core
+    // runs with faults present.
+    const auto planted = [](const FuzzScenario& s) {
+        return s.cores >= 2 && (s.stuck > 0.0 || s.wd > 0.0);
+    };
+    FuzzScenario failing = sampleScenario();
+    const FuzzScenario minimal = shrink(failing, planted, nullptr);
+    EXPECT_TRUE(planted(minimal));
+    EXPECT_EQ(minimal.cores, 2u);
+    EXPECT_EQ(minimal.refs, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Outcome classification on real runs
+// ---------------------------------------------------------------------
+
+TEST(FuzzRun, TinyScenarioRunsClean)
+{
+    FuzzScenario s;
+    s.workload = "qstress";
+    s.refs = 200;
+    s.cores = 2;
+    s.wq = 2;
+    s.wc = true;
+    const FuzzResult r = runScenario(s);
+    EXPECT_EQ(r.outcome, FuzzOutcome::Clean) << r.detail;
+    EXPECT_EQ(r.mismatches, 0u);
+}
+
+TEST(FuzzRun, FaultStormStillClean)
+{
+    // The mechanisms under test are supposed to tolerate this storm;
+    // the oracle confirms data integrity end to end.
+    FuzzScenario s;
+    s.workload = "qstress";
+    s.refs = 300;
+    s.cores = 2;
+    s.wq = 2;
+    s.wc = true;
+    s.stuck = 1.5;
+    s.ecpSteal = 3;
+    s.wd = 0.08;
+    const FuzzResult r = runScenario(s);
+    EXPECT_EQ(r.outcome, FuzzOutcome::Clean) << r.detail;
+}
+
+TEST(FuzzRun, BudgetIsGenerous)
+{
+    FuzzScenario s;
+    s.stuck = 0.0;
+    s.wd = 0.0;
+    // ~20k ticks per reference per core plus fixed slack: far above the
+    // ~3.3k/ref worst case measured for legitimate fault-free configs.
+    EXPECT_EQ(fuzzTickBudget(s),
+              Tick(4000000) + Tick(20000) * s.refs * s.cores);
+}
+
+TEST(FuzzRun, BudgetScalesWithFaultStorm)
+{
+    // Regression: wd=1 + stuck=10 on fnw measured ~330k ticks/ref of
+    // legitimate correction cascades; the flat 20k/ref budget falsely
+    // classified that run as a stall. The storm-scaled budget must
+    // clear the measured cost with an order of magnitude to spare.
+    FuzzScenario calm;
+    FuzzScenario storm = calm;
+    storm.wd = 1.0;
+    storm.stuck = 10.0;
+    EXPECT_GT(fuzzTickBudget(storm), fuzzTickBudget(calm));
+    // Measured: ~166M final ticks for 500 refs x 2 cores.
+    storm.refs = 500;
+    storm.cores = 2;
+    EXPECT_GE(fuzzTickBudget(storm), Tick(1000000000));
+}
+
+// ---------------------------------------------------------------------
+// Regression reproducers (shrunk specs from fixed bugs)
+// ---------------------------------------------------------------------
+
+// drain-burst=0 once aborted the drain state machine: the ctor clamp
+// had no lower bound, drainRemaining started a burst at zero, and the
+// first kick tripped "drain state out of sync" (memctrl.cc). Reverting
+// the clamp fix makes this scenario abort the test binary.
+TEST(FuzzRegression, ZeroDrainBurstRunsClean)
+{
+    FuzzScenario s;
+    s.scheme = "sdpcm";
+    s.workload = "qstress";
+    s.drainBurst = 0;
+    s.wq = 2;
+    s.wc = true;
+    s.cores = 2;
+    s.refs = 300;
+    const FuzzResult r = runScenario(s);
+    EXPECT_EQ(r.outcome, FuzzOutcome::Clean) << r.detail;
+}
+
+// Same bug class through the idle-drain path, which also arms bursts.
+TEST(FuzzRegression, ZeroDrainBurstWithIdleDrainRunsClean)
+{
+    FuzzScenario s;
+    s.scheme = "lazyc+preread";
+    s.workload = "mcf";
+    s.drainBurst = 0;
+    s.idleDrain = true;
+    s.wq = 4;
+    s.cores = 2;
+    s.refs = 300;
+    const FuzzResult r = runScenario(s);
+    EXPECT_EQ(r.outcome, FuzzOutcome::Clean) << r.detail;
+}
+
+} // namespace
+} // namespace sdpcm

@@ -159,6 +159,8 @@ TEST(MonitorRules, MalformedSpecsThrow)
         "r:gauge()<=1",                     // empty metric
         "a b:p99(x)<=5",                    // bad name chars
         "r:p99(x)<=5;r:p99(y)<=5",          // duplicate names
+        "r:p99(x)<=nan",                    // non-finite limit
+        "r:gauge(x)>=inf",                  // non-finite limit
     };
     for (const char* spec : bad) {
         EXPECT_THROW(MonitorRule::parseList(spec), std::invalid_argument)

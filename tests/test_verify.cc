@@ -47,6 +47,15 @@ TEST(FaultSpec, RejectsMalformedSpecs)
     EXPECT_THROW(FaultSpec::parse("wd=1.5"), std::invalid_argument);
     EXPECT_THROW(FaultSpec::parse("stuck=-1"), std::invalid_argument);
     EXPECT_THROW(FaultSpec::parse("stuck"), std::invalid_argument);
+    // stoul/stoull silently wrap negatives; a sign must be rejected,
+    // not turned into 4294967295 ECP steals.
+    EXPECT_THROW(FaultSpec::parse("ecp=-1"), std::invalid_argument);
+    EXPECT_THROW(FaultSpec::parse("seed=-1"), std::invalid_argument);
+    // NaN compares false against every range bound; the validation
+    // must reject it explicitly.
+    EXPECT_THROW(FaultSpec::parse("stuck=nan"), std::invalid_argument);
+    EXPECT_THROW(FaultSpec::parse("wd=nan"), std::invalid_argument);
+    EXPECT_THROW(FaultSpec::parse("stuck=inf"), std::invalid_argument);
 }
 
 // ---------------------------------------------------------------------

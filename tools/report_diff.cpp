@@ -113,6 +113,12 @@ main(int argc, char** argv)
                      " [--allow-missing] [--json[=FILE]]\n";
         return paths.size() == 2 ? 0 : 2;
     }
+    // Flags are read at several points below; declare the full set now
+    // so a typo'd option fails fast instead of silently no-oping.
+    for (const char* known :
+         {"thresholds", "allow-missing", "show-all", "json"})
+        (void)args.has(known);
+    args.finishParsing();
 
     ParsedReport baseline, current;
     ThresholdSet thresholds;

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Randomized scenario fuzzer driver over the shadow-memory oracle
+ * (verify/fuzz.hh).
+ *
+ * Each trial draws a deterministic scenario from the master seed and
+ * executes it in a forked child, so a telescoping-assert abort or a
+ * sanitizer crash is observed as a classified violation instead of
+ * killing the campaign. Any failing scenario is shrunk to a minimal
+ * reproducer (fewest refs/cores/faults) — every shrink probe forks too,
+ * so crashing probes are fine — and emitted as a replayable JSON spec
+ * plus the exact sdpcm_cli line.
+ *
+ * Usage:
+ *   sdpcm_fuzz [--trials=N] [--seconds=S] [--seed=N] [--out=DIR]
+ *              [--replay=FILE] [--corpus=DIR] [--no-shrink] [--quiet]
+ *
+ *   --trials=N    trial budget (default 100; 0 = unlimited, pair with
+ *                 --seconds)
+ *   --seconds=S   wall-clock budget; the campaign stops at whichever
+ *                 budget expires first (0 = no wall-clock bound)
+ *   --seed=N      master seed; the scenario sequence is a pure function
+ *                 of it (default 1)
+ *   --out=DIR     write shrunk reproducers as DIR/repro_<trial>.json
+ *                 (default: current directory)
+ *   --replay=FILE run one JSON scenario spec and report its outcome
+ *   --corpus=DIR  replay every *.json spec in DIR (regression corpus);
+ *                 nonzero exit if any spec is not clean
+ *   --no-shrink   report violations without shrinking
+ *
+ * Exit code: 0 when every executed scenario was clean, 1 on any
+ * violation, 2 on usage/spec errors.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/args.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "verify/fuzz.hh"
+
+using namespace sdpcm;
+
+namespace {
+
+// Child exit-code protocol (signals pass through waitpid separately).
+constexpr int kExitClean = 0;
+constexpr int kExitOracleMismatch = 10;
+constexpr int kExitStall = 11;
+
+/** Run the scenario in a forked child; classify however it dies. */
+FuzzResult
+runIsolated(const FuzzScenario& s)
+{
+    const pid_t pid = fork();
+    if (pid < 0) {
+        // Out of processes: degrade to in-process (a crash then kills
+        // the campaign, which still fails loudly).
+        SDPCM_WARN("fork failed; running scenario in-process");
+        return runScenario(s);
+    }
+    if (pid == 0) {
+        // Child: quiet logs (the parent prints triage), run, encode.
+        setLogLevel(LogLevel::Error);
+        const FuzzResult r = runScenario(s);
+        switch (r.outcome) {
+          case FuzzOutcome::Clean:
+            _exit(kExitClean);
+          case FuzzOutcome::OracleMismatch:
+            _exit(kExitOracleMismatch);
+          case FuzzOutcome::Stall:
+            _exit(kExitStall);
+          case FuzzOutcome::Crash:
+            break; // unreachable in-process
+        }
+        _exit(kExitClean);
+    }
+    int status = 0;
+    if (waitpid(pid, &status, 0) < 0) {
+        FuzzResult r;
+        r.outcome = FuzzOutcome::Crash;
+        r.detail = "waitpid failed";
+        return r;
+    }
+    FuzzResult r;
+    if (WIFSIGNALED(status)) {
+        r.outcome = FuzzOutcome::Crash;
+        r.detail = "child killed by signal " +
+                   std::to_string(WTERMSIG(status)) +
+                   " (assert/panic/sanitizer)";
+        return r;
+    }
+    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    switch (code) {
+      case kExitClean:
+        r.outcome = FuzzOutcome::Clean;
+        break;
+      case kExitOracleMismatch:
+        r.outcome = FuzzOutcome::OracleMismatch;
+        r.detail = "oracle mismatch (replay the spec for counts)";
+        break;
+      case kExitStall:
+        r.outcome = FuzzOutcome::Stall;
+        r.detail = "tick budget expired with unfinished cores";
+        break;
+      default:
+        // SDPCM_FATAL exits 1; anything unexpected is a crash too.
+        r.outcome = FuzzOutcome::Crash;
+        r.detail = "child exited with code " + std::to_string(code);
+        break;
+    }
+    return r;
+}
+
+/** Shrink with fork-isolated probes matching the original outcome. */
+FuzzScenario
+shrinkIsolated(const FuzzScenario& failing, FuzzOutcome outcome,
+               unsigned* probes)
+{
+    return shrink(
+        failing,
+        [outcome](const FuzzScenario& c) {
+            return runIsolated(c).outcome == outcome;
+        },
+        probes);
+}
+
+int
+replayOne(const std::string& path, bool in_process)
+{
+    FuzzScenario s;
+    try {
+        s = FuzzScenario::fromJsonFile(path);
+    } catch (const std::runtime_error& e) {
+        std::cerr << "sdpcm_fuzz: " << e.what() << "\n";
+        return 2;
+    }
+    const FuzzResult r = in_process ? runScenario(s) : runIsolated(s);
+    std::cout << path << ": " << outcomeName(r.outcome);
+    if (!r.detail.empty())
+        std::cout << " — " << r.detail;
+    std::cout << "\n  " << s.describe() << "\n";
+    if (r.outcome != FuzzOutcome::Clean) {
+        std::cout << "  repro: " << s.cliLine() << "\n";
+        return 1;
+    }
+    return 0;
+}
+
+int
+replayCorpus(const std::string& dir)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> specs;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+        if (entry.path().extension() == ".json")
+            specs.push_back(entry.path().string());
+    }
+    if (ec) {
+        std::cerr << "sdpcm_fuzz: cannot read corpus dir " << dir << ": "
+                  << ec.message() << "\n";
+        return 2;
+    }
+    if (specs.empty()) {
+        std::cerr << "sdpcm_fuzz: no *.json specs in " << dir << "\n";
+        return 2;
+    }
+    std::sort(specs.begin(), specs.end());
+    int failures = 0;
+    for (const std::string& path : specs)
+        failures += replayOne(path, /*in_process=*/false) == 0 ? 0 : 1;
+    std::cout << specs.size() << " corpus spec(s), " << failures
+              << " violation(s)\n";
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    ArgParser args(argc, argv);
+    if (args.has("help")) {
+        std::cout
+            << "sdpcm_fuzz — randomized scenario fuzzer over the "
+               "shadow-memory oracle\n"
+               "  --trials=N    trial budget (default 100; 0 = "
+               "unlimited)\n"
+               "  --seconds=S   wall-clock budget (0 = none)\n"
+               "  --seed=N      master seed (scenario stream is "
+               "deterministic in it)\n"
+               "  --out=DIR     where shrunk reproducers land "
+               "(repro_<trial>.json)\n"
+               "  --replay=FILE run one JSON spec, report the outcome\n"
+               "  --corpus=DIR  replay every *.json spec in DIR\n"
+               "  --no-shrink   skip reproducer minimisation\n"
+               "  --quiet       only print violations and the summary\n";
+        return 0;
+    }
+    if (args.getBool("quiet", false))
+        setLogLevel(LogLevel::Warn);
+    const std::uint64_t trials =
+        static_cast<std::uint64_t>(args.getInt("trials", 100));
+    const double seconds = args.getDouble("seconds", 0.0);
+    const std::uint64_t master_seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+    const std::string out_dir = args.getString("out", ".");
+    const bool no_shrink = args.getBool("no-shrink", false);
+    const bool have_replay = args.has("replay");
+    const std::string replay_path = args.getString("replay", "");
+    const bool have_corpus = args.has("corpus");
+    const std::string corpus_dir = args.getString("corpus", "");
+    args.finishParsing();
+
+    if (have_replay)
+        return replayOne(replay_path, /*in_process=*/false);
+    if (have_corpus)
+        return replayCorpus(corpus_dir);
+    if (trials == 0 && seconds <= 0.0) {
+        std::cerr << "sdpcm_fuzz: --trials=0 needs --seconds=S\n";
+        return 2;
+    }
+
+    Rng rng(master_seed);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t executed = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t by_outcome[4] = {0, 0, 0, 0};
+
+    for (std::uint64_t trial = 0;; ++trial) {
+        if (trials > 0 && trial >= trials)
+            break;
+        if (seconds > 0.0) {
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            if (elapsed >= seconds)
+                break;
+        }
+        // Drawn before the fork so the stream is identical whether or
+        // not earlier trials failed.
+        const FuzzScenario s = randomScenario(rng);
+        const FuzzResult r = runIsolated(s);
+        executed += 1;
+        by_outcome[static_cast<int>(r.outcome)] += 1;
+        if (r.outcome == FuzzOutcome::Clean) {
+            SDPCM_PROGRESS("trial ", trial, ": clean  ", s.describe());
+            continue;
+        }
+        violations += 1;
+        std::cout << "\nVIOLATION (trial " << trial << ", "
+                  << outcomeName(r.outcome) << ")";
+        if (!r.detail.empty())
+            std::cout << ": " << r.detail;
+        std::cout << "\n  scenario: " << s.describe() << "\n";
+
+        FuzzScenario minimal = s;
+        if (!no_shrink) {
+            unsigned probes = 0;
+            minimal = shrinkIsolated(s, r.outcome, &probes);
+            std::cout << "  shrunk (" << probes << " probes): "
+                      << minimal.describe() << "\n";
+        }
+        const std::string repro_path =
+            out_dir + "/repro_" + std::to_string(trial) + ".json";
+        std::ofstream os(repro_path);
+        if (os) {
+            minimal.writeJson(os);
+            std::cout << "  spec:  " << repro_path << "\n";
+        } else {
+            std::cerr << "  (cannot write " << repro_path << ")\n";
+        }
+        std::cout << "  repro: " << minimal.cliLine() << "\n";
+    }
+
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    std::cout << "\nsdpcm_fuzz: " << executed << " trial(s) in "
+              << elapsed << "s (seed " << master_seed << "): "
+              << by_outcome[0] << " clean, " << by_outcome[1]
+              << " oracle-mismatch, " << by_outcome[2] << " stall, "
+              << by_outcome[3] << " crash\n";
+    return violations == 0 ? 0 : 1;
+}

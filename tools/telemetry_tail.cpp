@@ -390,6 +390,11 @@ main(int argc, char** argv)
                "tolerance)\n";
         return paths.empty() || paths.size() > 2 ? 2 : 0;
     }
+    // Flags are read at several points below; declare the full set now
+    // so a typo'd option fails fast instead of silently no-oping.
+    for (const char* known : {"rel", "report", "metric", "top"})
+        (void)args.has(known);
+    args.finishParsing();
 
     try {
         const Stream a = parseStream(paths[0]);
