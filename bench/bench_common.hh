@@ -38,6 +38,15 @@
  *              dump Prometheus text exposition — single runs only;
  *              matrix benches drop the paths with a warning (rules and
  *              the watchdog still run per cell).
+ *   --profile[=FILE]  host-time self-profiler on every cell
+ *              (obs/profiler.hh); prof.* metrics land in the report and
+ *              the optional FILE gets the merged profile JSON.
+ *   --profile-top=N  print each scheme's top-N host phases by exclusive
+ *              wall-clock to stderr (implies --profile).
+ *   --profile-folded=FILE  write the merged profile as collapsed stacks
+ *              (flamegraph format; implies --profile).
+ *   --profile-sample=N  time 1 of every N root scope trees (power of
+ *              two, default 64; 1 = exact).
  *   --wd-ledger[=FILE]  disturbance-provenance ledger on every cell
  *              (obs/ledger.hh); wd.* metrics land in the report and the
  *              optional FILE gets the aggregated per-scheme JSON export.
@@ -95,6 +104,10 @@ configFromArgs(const ArgParser& args, std::int64_t default_refs = 10000)
     }
     cfg.telemetry = telemetryFromArgs(args);
     cfg.wdLedger = args.has("wd-ledger") || args.has("wd-top");
+    cfg.profile = args.has("profile") || args.has("profile-top") ||
+                  args.has("profile-folded");
+    cfg.profileSample = static_cast<std::uint32_t>(args.getInt(
+        "profile-sample", static_cast<std::int64_t>(cfg.profileSample)));
     cfg.enduranceCellWrites = args.getDouble("endurance", 1e8);
     // The shared maybeWrite* helpers read these after the run; declare
     // them now so finishParsing() before the run accepts them.
@@ -103,6 +116,9 @@ configFromArgs(const ArgParser& args, std::int64_t default_refs = 10000)
     (void)args.has("spans-top");
     (void)args.has("wd-ledger");
     (void)args.has("wd-top");
+    (void)args.has("profile");
+    (void)args.has("profile-top");
+    (void)args.has("profile-folded");
     return cfg;
 }
 
@@ -308,6 +324,62 @@ maybeWriteWdLedger(const ArgParser& args, const std::string& bench_name,
     os.flush();
     SDPCM_ASSERT(os.good(), "error writing wd-ledger file: ", path);
     std::cout << "wd ledger written to " << path << "\n";
+}
+
+/**
+ * Host-profile outputs for a finished matrix: per-scheme top-N blame
+ * tables on stderr for --profile-top=N, collapsed stacks (one file, all
+ * schemes) to --profile-folded=FILE, and the whole-matrix merged profile
+ * JSON to --profile=FILE (bare --profile keeps the profiler on without a
+ * file; prof.* metrics still land in the report). Summaries are merged
+ * in deterministic matrix order, so the tree structure is identical for
+ * any --jobs value. No-op when profiling was off.
+ */
+inline void
+maybeWriteProfile(const ArgParser& args, const std::string& bench_name,
+                  const RunnerConfig& cfg,
+                  const std::vector<SchemeResults>& results)
+{
+    if (!cfg.profile)
+        return;
+    const std::string json_path = args.getString("profile", "");
+    const std::string folded_path = args.getString("profile-folded", "");
+    const unsigned top_n =
+        static_cast<unsigned>(args.getInt("profile-top", 0));
+    std::ofstream folded;
+    if (!folded_path.empty()) {
+        folded.open(folded_path);
+        SDPCM_ASSERT(folded.good(), "cannot open profile-folded file: ",
+                     folded_path);
+    }
+    ProfSummary all;
+    for (const SchemeResults& scheme : results) {
+        ProfSummary merged;
+        for (const auto& [name, metrics] : scheme.byWorkload) {
+            (void)name;
+            merged.merge(metrics.prof);
+        }
+        all.merge(merged);
+        if (folded.is_open())
+            writeProfileFolded(folded, scheme.scheme, merged);
+        if (top_n > 0)
+            printProfileTop(std::cerr, scheme.scheme, merged, top_n);
+    }
+    if (folded.is_open()) {
+        folded.flush();
+        SDPCM_ASSERT(folded.good(),
+                     "error writing profile-folded file: ", folded_path);
+        std::cout << "profile folded stacks written to " << folded_path
+                  << "\n";
+    }
+    if (json_path.empty() || json_path == "1")
+        return;
+    std::ofstream os(json_path);
+    SDPCM_ASSERT(os.good(), "cannot open profile file: ", json_path);
+    writeProfileJson(os, bench_name, all);
+    os.flush();
+    SDPCM_ASSERT(os.good(), "error writing profile file: ", json_path);
+    std::cout << "profile written to " << json_path << "\n";
 }
 
 /** Workload-name column order: Table 3 order plus the aggregate. */

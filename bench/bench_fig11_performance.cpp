@@ -89,5 +89,6 @@ main(int argc, char** argv)
     maybeWriteReport(args, "REPORT_fig11.json", "bench_fig11", cfg,
                      results);
     maybeWriteSpans(args, cfg, results);
+    maybeWriteProfile(args, "bench_fig11", cfg, results);
     return 0;
 }

@@ -66,5 +66,6 @@ main(int argc, char** argv)
                  "is the Markov model of analysis/wd_analytic.hh)\n";
     maybeWriteReport(args, "REPORT_fig12.json", "bench_fig12", cfg,
                      results);
+    maybeWriteProfile(args, "bench_fig12", cfg, results);
     return 0;
 }

@@ -55,5 +55,6 @@ main(int argc, char** argv)
     maybeWriteReport(args, "REPORT_fig13.json", "bench_fig13", cfg,
                      results);
     maybeWriteSpans(args, cfg, results);
+    maybeWriteProfile(args, "bench_fig13", cfg, results);
     return 0;
 }

@@ -14,13 +14,16 @@
  * over all 9 Table 3 workloads.
  *
  * A third serial pass runs with span attribution ON, a fourth with
- * streaming telemetry + SLO monitors ON and a fifth with the WD
- * provenance ledger + per-line wear counters ON, guarding the
- * observability promises: every pre-existing metric stays bit-identical
- * (spans, telemetry and the ledger observe, never perturb), and the
+ * streaming telemetry + SLO monitors ON, a fifth with the WD
+ * provenance ledger + per-line wear counters ON and a sixth with the
+ * host-time self-profiler ON, guarding the observability promises:
+ * every pre-existing metric stays bit-identical (spans, telemetry, the
+ * ledger and the profiler observe, never perturb), and the
  * everything-off path keeps its speed — pass --baseline=FILE (a
  * previous BENCH_parallel.json) to fail the bench if the
- * observability-off serial wall-clock regressed more than 2%.
+ * observability-off serial wall-clock regressed more than 2%, or if
+ * the profiler-on pass costs more than 2% over the same run's
+ * profiler-off serial pass.
  */
 
 #include <chrono>
@@ -205,6 +208,17 @@ main(int argc, char** argv)
     const double ledger_s =
         timedMatrix(schemes, workloads, ledger_cfg, ledger_results);
 
+    // Profiler pass: the host-time self-profiler arms every PROF_SCOPE
+    // site (event dispatch, controller stages, device loops). Its only
+    // observable work is reading the host clock, so every simulation
+    // metric must stay bit-identical and the wall-clock cost must stay
+    // inside the noise floor.
+    RunnerConfig prof_cfg = serial_cfg;
+    prof_cfg.profile = true;
+    std::vector<SchemeResults> prof_results;
+    const double prof_s =
+        timedMatrix(schemes, workloads, prof_cfg, prof_results);
+
     const bool identical =
         identicalResults(serial_results, parallel_results);
     if (!identical)
@@ -227,6 +241,12 @@ main(int argc, char** argv)
         SDPCM_WARN("ledger-on results differ from ledger-off on shared "
                    "metrics — the provenance ledger perturbed the "
                    "simulation!");
+    const bool prof_clean =
+        subsetIdentical(serial_results, prof_results, "profiler-on");
+    if (!prof_clean)
+        SDPCM_WARN("profiler-on results differ from profiler-off on "
+                   "shared metrics — the profiler perturbed the "
+                   "simulation!");
     const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
     const double spans_overhead =
         serial_s > 0.0 ? spans_s / serial_s - 1.0 : 0.0;
@@ -234,6 +254,8 @@ main(int argc, char** argv)
         serial_s > 0.0 ? telem_s / serial_s - 1.0 : 0.0;
     const double ledger_overhead =
         serial_s > 0.0 ? ledger_s / serial_s - 1.0 : 0.0;
+    const double prof_overhead =
+        serial_s > 0.0 ? prof_s / serial_s - 1.0 : 0.0;
 
     std::cout << "serial   : " << TablePrinter::fmt(serial_s, 3) << " s\n"
               << "parallel : " << TablePrinter::fmt(parallel_s, 3)
@@ -247,6 +269,9 @@ main(int argc, char** argv)
               << "ledger-on: " << TablePrinter::fmt(ledger_s, 3)
               << " s  serial ("
               << TablePrinter::pct(ledger_overhead, 1) << " overhead)\n"
+              << "prof-on  : " << TablePrinter::fmt(prof_s, 3)
+              << " s  serial ("
+              << TablePrinter::pct(prof_overhead, 1) << " overhead)\n"
               << "speedup  : " << TablePrinter::fmt(speedup, 2) << "x\n"
               << "identical: " << (identical ? "yes" : "NO") << "\n"
               << "spans obs-only: " << (spans_clean ? "yes" : "NO")
@@ -254,6 +279,8 @@ main(int argc, char** argv)
               << "telemetry obs-only: " << (telem_clean ? "yes" : "NO")
               << "\n"
               << "ledger obs-only: " << (ledger_clean ? "yes" : "NO")
+              << "\n"
+              << "profiler obs-only: " << (prof_clean ? "yes" : "NO")
               << "\n";
 
     bool baseline_ok = true;
@@ -269,6 +296,16 @@ main(int argc, char** argv)
                       << TablePrinter::pct(rel, 1) << " > 2% vs "
                       << baseline_path
                       << " — the compile-time-off promise is broken\n";
+        }
+        // Gate the profiler's own cost under the same flag: gating it
+        // unconditionally would make every run hostage to wall-clock
+        // noise, but a --baseline run has opted into timing assertions.
+        if (prof_overhead > 0.02) {
+            baseline_ok = false;
+            std::cout << "FAIL: profiler-on pass cost "
+                      << TablePrinter::pct(prof_overhead, 1)
+                      << " > 2% over the profiler-off serial pass — "
+                         "the observe-only overhead promise is broken\n";
         }
     }
 
@@ -289,6 +326,7 @@ main(int argc, char** argv)
        << "  \"spans_serial_seconds\": " << spans_s << ",\n"
        << "  \"telemetry_serial_seconds\": " << telem_s << ",\n"
        << "  \"ledger_serial_seconds\": " << ledger_s << ",\n"
+       << "  \"profiler_serial_seconds\": " << prof_s << ",\n"
        << "  \"speedup\": " << speedup << ",\n"
        << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
        << "  \"spans_observe_only\": "
@@ -296,13 +334,16 @@ main(int argc, char** argv)
        << "  \"telemetry_observe_only\": "
        << (telem_clean ? "true" : "false") << ",\n"
        << "  \"ledger_observe_only\": "
-       << (ledger_clean ? "true" : "false") << "\n"
+       << (ledger_clean ? "true" : "false") << ",\n"
+       << "  \"profiler_observe_only\": "
+       << (prof_clean ? "true" : "false") << "\n"
        << "}\n";
     SDPCM_PROGRESS("written to ", out_path);
 
     maybeWriteSpans(args, spans_cfg, spans_results);
     maybeWriteWdLedger(args, "bench_wallclock", ledger_cfg,
                        ledger_results);
+    maybeWriteProfile(args, "bench_wallclock", prof_cfg, prof_results);
 
     // The ledger-pass results are the reference copy: every shared
     // metric bit-matches the everything-off serial run (`ledger_clean`)
@@ -316,16 +357,19 @@ main(int argc, char** argv)
                       {"spans_serial_seconds", spans_s},
                       {"telemetry_serial_seconds", telem_s},
                       {"ledger_serial_seconds", ledger_s},
+                      {"profiler_serial_seconds", prof_s},
                       {"speedup", speedup},
                       {"identical", identical ? 1.0 : 0.0},
                       {"spans_observe_only", spans_clean ? 1.0 : 0.0},
                       {"telemetry_observe_only",
                        telem_clean ? 1.0 : 0.0},
                       {"ledger_observe_only",
-                       ledger_clean ? 1.0 : 0.0}});
+                       ledger_clean ? 1.0 : 0.0},
+                      {"profiler_observe_only",
+                       prof_clean ? 1.0 : 0.0}});
     const int oracle_rc = checkOracle(cfg, serial_results);
     if (!identical || !spans_clean || !telem_clean || !ledger_clean ||
-        !baseline_ok) {
+        !prof_clean || !baseline_ok) {
         return 1;
     }
     return oracle_rc;

@@ -137,6 +137,25 @@ main(int argc, char** argv)
             "  --spans-top=N     print the top-N phases by critical "
             "cycles to\n"
             "                    stderr (implies --spans)\n"
+            "  --profile[=FILE]  host-time self-profiler: hierarchical "
+            "wall-clock\n"
+            "                    blame for the simulator's own hot paths"
+            "; prof.*\n"
+            "                    metrics land in the report and FILE "
+            "gets the\n"
+            "                    profile JSON (tree + per-phase table)\n"
+            "  --profile-top=N   print the top-N host phases by "
+            "exclusive time\n"
+            "                    to stderr (implies --profile)\n"
+            "  --profile-folded=FILE\n"
+            "                    write the profile as collapsed stacks "
+            "for\n"
+            "                    flamegraph tooling (implies --profile)\n"
+            "  --profile-sample=N\n"
+            "                    time 1 of every N root scope trees "
+            "(power of\n"
+            "                    two, default 64; 1 = exact, higher "
+            "overhead)\n"
             "  --telemetry=FILE  stream JSONL telemetry frames during "
             "the run\n"
             "                    (summarise with telemetry_tail)\n"
@@ -240,6 +259,19 @@ main(int argc, char** argv)
         static_cast<unsigned>(args.getInt("spans-top", 0));
     cfg.spans = args.has("spans") || !spans_folded.empty() ||
                 spans_top > 0;
+    // Same idiom for --profile: bare flag enables, a value is the
+    // profile-JSON output path.
+    const std::string profile_arg = args.getString("profile", "");
+    const std::string profile_json =
+        (profile_arg.empty() || profile_arg == "1") ? "" : profile_arg;
+    const std::string profile_folded =
+        args.getString("profile-folded", "");
+    const unsigned profile_top =
+        static_cast<unsigned>(args.getInt("profile-top", 0));
+    cfg.profile = args.has("profile") || !profile_folded.empty() ||
+                  profile_top > 0;
+    cfg.profileSample = static_cast<std::uint32_t>(args.getInt(
+        "profile-sample", static_cast<std::int64_t>(cfg.profileSample)));
     cfg.verifyOracle = args.getBool("verify-oracle", false);
     cfg.telemetry = telemetryFromArgs(args);
     // Same bare-flag idiom as --spans: --wd-ledger stores "1" (enable,
@@ -376,6 +408,32 @@ main(int argc, char** argv)
                            wd_top);
             }
         }
+        if (cfg.profile) {
+            // Merge in workload (matrix) order: the merged tree is
+            // identical for any --jobs value.
+            ProfSummary merged;
+            for (const auto& w : workloads)
+                merged.merge(results.front().at(w.name).prof);
+            if (!profile_json.empty()) {
+                std::ofstream os(profile_json);
+                if (!os)
+                    SDPCM_FATAL("cannot open ", profile_json);
+                writeProfileJson(os, scheme.name + "/all", merged);
+                SDPCM_PROGRESS("profile written to ", profile_json);
+            }
+            if (!profile_folded.empty()) {
+                std::ofstream os(profile_folded);
+                if (!os)
+                    SDPCM_FATAL("cannot open ", profile_folded);
+                writeProfileFolded(os, scheme.name, merged);
+                SDPCM_PROGRESS("profile folded stacks written to ",
+                               profile_folded);
+            }
+            if (profile_top > 0) {
+                printProfileTop(std::cerr, scheme.name + "/all", merged,
+                                profile_top);
+            }
+        }
         if (cfg.verifyOracle) {
             std::cout << "\noracle: " << oracle_mismatches
                       << " mismatch(es) across " << workloads.size()
@@ -506,6 +564,27 @@ main(int argc, char** argv)
         if (spans_top > 0) {
             printSpanTop(std::cerr, scheme.name + "/" + spec.name,
                          m.spans, spans_top);
+        }
+    }
+    if (cfg.profile) {
+        if (!profile_json.empty()) {
+            std::ofstream os(profile_json);
+            if (!os)
+                SDPCM_FATAL("cannot open ", profile_json);
+            writeProfileJson(os, scheme.name + "/" + spec.name, m.prof);
+            SDPCM_PROGRESS("profile written to ", profile_json);
+        }
+        if (!profile_folded.empty()) {
+            std::ofstream os(profile_folded);
+            if (!os)
+                SDPCM_FATAL("cannot open ", profile_folded);
+            writeProfileFolded(os, scheme.name, m.prof);
+            SDPCM_PROGRESS("profile folded stacks written to ",
+                           profile_folded);
+        }
+        if (profile_top > 0) {
+            printProfileTop(std::cerr, scheme.name + "/" + spec.name,
+                            m.prof, profile_top);
         }
     }
     if (cfg.wdLedger) {

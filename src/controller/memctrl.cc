@@ -497,6 +497,10 @@ MemoryController::kick(unsigned bank)
     Bank& b = banks_[bank];
     if (b.busy)
         return;
+    // Scheduler pass: drain bookkeeping and issue decisions bill to
+    // CtrlKick; the service bodies run later in their own scopes, and
+    // inline round planning opens nested WriteRound/Correction scopes.
+    PROF_SCOPE(prof_, CtrlKick);
 
     // Close out an exhausted drain burst before deciding anything else.
     if (b.draining && !b.active &&
@@ -580,6 +584,7 @@ MemoryController::serviceRead(unsigned bank)
                // cancellation's read grace fires mid-drain). The array
                // would return torn or stale data; the pending payload is
                // the line's architecturally current value.
+               PROF_SCOPE(prof_, ReadService);
                Bank& bb = banks_[bank];
                const LineData* fwd = nullptr;
                for (auto it = bb.writeQueue.rbegin();
@@ -599,6 +604,7 @@ MemoryController::serviceRead(unsigned bank)
                stats_.readLatency.record(
                    static_cast<double>(events_.now() - req.enqueueTick));
                if (oracle_) {
+                   PROF_SCOPE(prof_, OracleCheck);
                    if (fwd)
                        oracle_->noteForwardedRead(req.la, data);
                    else
@@ -666,10 +672,15 @@ MemoryController::tryIssuePreRead(unsigned bank)
             occupy(bank, device_.config().timing.readCycles,
                    OpKind::PreRead,
                    [this, bank, target, id, is_upper] {
+                       // Pre-read captures feed the write's verify
+                       // stage, so their host cost bills there.
+                       PROF_SCOPE(prof_, VerifyScan);
                        const LineData data = device_.readLine(target);
                        stats_.preReadsIssued += 1;
-                       if (oracle_)
+                       if (oracle_) {
+                           PROF_SCOPE(prof_, OracleCheck);
                            oracle_->notePreReadCapture(target, data);
+                       }
                        // Re-locate the entry by id; it may have moved (or
                        // gained a same-line twin via cancellation).
                        for (auto& entry : banks_[bank].writeQueue) {
@@ -723,6 +734,7 @@ MemoryController::cancelActive(unsigned bank)
 {
     Bank& b = banks_[bank];
     SDPCM_ASSERT(b.active, "cancel without active write");
+    PROF_SCOPE(prof_, Cancel);
     QueuedWrite w = std::move(b.active->w);
     const Tick serviceStart = b.active->serviceStart;
     if (b.active->planned) {
@@ -863,6 +875,7 @@ MemoryController::advanceWrite(unsigned bank)
             const Tick lat = scheme_.chargeVerifyOps
                 ? device_.config().timing.readCycles : 0;
             occupy(bank, lat, OpKind::VerifyRead, [this, bank] {
+                PROF_SCOPE(prof_, VerifyScan);
                 ActiveWrite& aw = *banks_[bank].active;
                 aw.w.upperData = device_.readLine(aw.w.upperAddr);
                 aw.w.prUpper = true;
@@ -884,6 +897,7 @@ MemoryController::advanceWrite(unsigned bank)
             const Tick lat = scheme_.chargeVerifyOps
                 ? device_.config().timing.readCycles : 0;
             occupy(bank, lat, OpKind::VerifyRead, [this, bank] {
+                PROF_SCOPE(prof_, VerifyScan);
                 ActiveWrite& aw = *banks_[bank].active;
                 aw.w.lowerData = device_.readLine(aw.w.lowerAddr);
                 aw.w.prLower = true;
@@ -894,18 +908,22 @@ MemoryController::advanceWrite(unsigned bank)
           }
           case ActiveWrite::Stage::Rounds: {
             if (!a.planned) {
+                PROF_SCOPE(prof_, WriteRound);
                 // Recycle the bank's retired plan: planWriteInto reuses
                 // its rounds/wlHits buffers instead of reallocating.
                 a.plan = std::move(b.planPool);
                 device_.planWriteInto(a.plan, a.w.la, a.w.payload);
                 a.planned = true;
-                if (oracle_)
+                if (oracle_) {
+                    PROF_SCOPE(prof_, OracleCheck);
                     oracle_->noteRoundsStart(a.w.id, a.w.la);
+                }
             }
             const auto peek = device_.peekNextRound(a.plan);
             if (peek.valid) {
                 occupy(bank, peek.latency, OpKind::WriteRound,
                        [this, bank] {
+                           PROF_SCOPE(prof_, WriteRound);
                            ActiveWrite& aw = *banks_[bank].active;
                            if (ledger_)
                                ledger_->beginOp(aw.w.coreId, 0);
@@ -917,10 +935,15 @@ MemoryController::advanceWrite(unsigned bank)
                        SpanPhase::WriteRounds);
                 return;
             }
-            device_.finishWrite(a.plan);
-            refreshBuffersAfterWrite(bank, a.w.la, a.w.payload);
-            if (oracle_)
-                oracle_->noteWriteCommitted(a.w.la, a.w.payload);
+            {
+                PROF_SCOPE(prof_, WriteRound);
+                device_.finishWrite(a.plan);
+                refreshBuffersAfterWrite(bank, a.w.la, a.w.payload);
+                if (oracle_) {
+                    PROF_SCOPE(prof_, OracleCheck);
+                    oracle_->noteWriteCommitted(a.w.la, a.w.payload);
+                }
+            }
             a.stage = ActiveWrite::Stage::VerUpper;
             break;
           }
@@ -932,11 +955,13 @@ MemoryController::advanceWrite(unsigned bank)
             const Tick lat = scheme_.chargeVerifyOps
                 ? device_.config().timing.readCycles : 0;
             occupy(bank, lat, OpKind::VerifyRead, [this, bank] {
+                PROF_SCOPE(prof_, VerifyScan);
                 ActiveWrite& aw = *banks_[bank].active;
                 const LineData post = device_.readLine(aw.w.upperAddr);
                 stats_.verifyReads += 1;
                 aw.stage = ActiveWrite::Stage::VerLower;
                 if (oracle_) {
+                    PROF_SCOPE(prof_, OracleCheck);
                     oracle_->noteVerifyBuffer(aw.w.upperAddr,
                                               aw.w.upperData, aw.w.id);
                 }
@@ -954,11 +979,13 @@ MemoryController::advanceWrite(unsigned bank)
             const Tick lat = scheme_.chargeVerifyOps
                 ? device_.config().timing.readCycles : 0;
             occupy(bank, lat, OpKind::VerifyRead, [this, bank] {
+                PROF_SCOPE(prof_, VerifyScan);
                 ActiveWrite& aw = *banks_[bank].active;
                 const LineData post = device_.readLine(aw.w.lowerAddr);
                 stats_.verifyReads += 1;
                 aw.stage = ActiveWrite::Stage::Corrections;
                 if (oracle_) {
+                    PROF_SCOPE(prof_, OracleCheck);
                     oracle_->noteVerifyBuffer(aw.w.lowerAddr,
                                               aw.w.lowerData, aw.w.id);
                 }
@@ -1041,6 +1068,7 @@ MemoryController::advanceCorrection(unsigned bank)
                 break;
             }
             occupy(bank, read_lat, OpKind::CascadeRead, [this, bank] {
+                PROF_SCOPE(prof_, Correction);
                 ActiveCorrection& cc = *banks_[bank].active->corr;
                 cc.upData = device_.readLine(cc.up);
                 cc.haveUpData = true;
@@ -1054,6 +1082,7 @@ MemoryController::advanceCorrection(unsigned bank)
                 break;
             }
             occupy(bank, read_lat, OpKind::CascadeRead, [this, bank] {
+                PROF_SCOPE(prof_, Correction);
                 ActiveCorrection& cc = *banks_[bank].active->corr;
                 cc.lowData = device_.readLine(cc.low);
                 cc.haveLowData = true;
@@ -1063,6 +1092,7 @@ MemoryController::advanceCorrection(unsigned bank)
           }
           case ActiveCorrection::Stage::Rounds: {
             if (!c.planned) {
+                PROF_SCOPE(prof_, Correction);
                 c.plan = std::move(b.corrPlanPool);
                 device_.planCorrectionInto(c.plan, c.task.addr,
                                            c.task.cells);
@@ -1070,8 +1100,10 @@ MemoryController::advanceCorrection(unsigned bank)
                 stats_.correctionWrites += 1;
                 // Correction rounds RESET cells too: their neighbourhood
                 // becomes transiently dirty under the same writer.
-                if (oracle_)
+                if (oracle_) {
+                    PROF_SCOPE(prof_, OracleCheck);
                     oracle_->noteRoundsStart(a.w.id, c.task.addr);
+                }
             }
             const auto peek = device_.peekNextRound(c.plan);
             if (peek.valid) {
@@ -1079,6 +1111,7 @@ MemoryController::advanceCorrection(unsigned bank)
                     ? peek.latency : 0;
                 occupy(bank, lat, OpKind::CorrectionRound,
                        [this, bank] {
+                           PROF_SCOPE(prof_, Correction);
                            ActiveWrite& aw = *banks_[bank].active;
                            ActiveCorrection& cc = *aw.corr;
                            if (ledger_) {
@@ -1093,7 +1126,10 @@ MemoryController::advanceCorrection(unsigned bank)
                        SpanPhase::LazyCorrect);
                 return;
             }
-            device_.finishWrite(c.plan);
+            {
+                PROF_SCOPE(prof_, Correction);
+                device_.finishWrite(c.plan);
+            }
             c.stage = ActiveCorrection::Stage::VerUp;
             break;
           }
@@ -1103,6 +1139,7 @@ MemoryController::advanceCorrection(unsigned bank)
                 break;
             }
             occupy(bank, read_lat, OpKind::CascadeRead, [this, bank] {
+                PROF_SCOPE(prof_, Correction);
                 ActiveWrite& aw = *banks_[bank].active;
                 ActiveCorrection& cc = *aw.corr;
                 const LineData post = device_.readLine(cc.up);
@@ -1120,6 +1157,7 @@ MemoryController::advanceCorrection(unsigned bank)
                 break;
             }
             occupy(bank, read_lat, OpKind::CascadeRead, [this, bank] {
+                PROF_SCOPE(prof_, Correction);
                 ActiveWrite& aw = *banks_[bank].active;
                 ActiveCorrection& cc = *aw.corr;
                 const LineData post = device_.readLine(cc.low);

@@ -141,6 +141,16 @@ class MemoryController
      */
     void setLedger(WdLedger* ledger) { ledger_ = ledger; }
 
+    /**
+     * Attach the host-time profiler (null detaches). The controller
+     * opens a scope per scheduler pass and per service-stage completion
+     * body (read service, write rounds, verify scans, corrections,
+     * cancellation), so host wall-clock telescopes from EventDispatch
+     * down into the device loops. Strictly observe-only: no simulated
+     * state, RNG draw, or tick is touched (obs/profiler.hh).
+     */
+    void setProfiler(HostProfiler* prof) { prof_ = prof; }
+
     // --- Observability accessors (epoch sampling / diagnostics). ---
     unsigned
     numBanks() const
@@ -368,6 +378,7 @@ class MemoryController
     ShadowOracle* oracle_ = nullptr;
     SpanRecorder* spans_ = nullptr;
     WdLedger* ledger_ = nullptr;
+    HostProfiler* prof_ = nullptr;
     std::uint64_t nextWriteId_ = 1;
     std::vector<Bank> banks_;
     mutable std::map<std::uint64_t, NmPolicy> policies_;

@@ -204,6 +204,7 @@ EpochSampler::capture(const CtrlStats& s)
 void
 EpochSampler::takeSample(Tick now)
 {
+    PROF_SCOPE(prof_, EpochSample);
     const Counters cur = capture(ctrl_.stats());
     EpochSample s;
     s.tick = now;

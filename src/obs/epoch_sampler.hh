@@ -91,6 +91,10 @@ class EpochSampler
     EpochSampler(EventQueue& events, const MemoryController& ctrl,
                  Tick epoch_ticks, TraceSink* sink = nullptr);
 
+    /** Attach the host-time profiler (null detaches); polls bill to
+     *  the EpochSample phase. */
+    void setProfiler(HostProfiler* prof) { prof_ = prof; }
+
     /** Install the tick hook; call once before the run starts. */
     void start();
 
@@ -127,6 +131,7 @@ class EpochSampler
     EventQueue& events_;
     const MemoryController& ctrl_;
     TraceSink* trace_;
+    HostProfiler* prof_ = nullptr;
     EpochSeries series_;
     Counters prev_;
     std::size_t hookId_ = 0;

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Collapsed-stack ("folded") writer shared by span attribution
+ * (--spans-folded) and the host-time profiler (--profile-folded).
+ *
+ * The folded format is the interchange format of the flamegraph
+ * toolchain: one stack per line, frames joined by semicolons, then a
+ * space and an integer weight:
+ *
+ *   frame;frame;frame 1234
+ *
+ * Weights are whatever additive unit the producer attributes —
+ * simulated cycles for spans, host nanoseconds for the profiler.
+ * Zero-weight stacks are dropped: flamegraph tools ignore them and the
+ * span writer's output contract omits them.
+ */
+
+#ifndef SDPCM_OBS_FOLDED_HH
+#define SDPCM_OBS_FOLDED_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace sdpcm {
+
+/** Stream writer for folded flamegraph stacks. */
+class FoldedWriter
+{
+  public:
+    explicit FoldedWriter(std::ostream& os) : os_(os) {}
+
+    /** Emit one `a;b;c weight` line from an inline frame list. */
+    void stack(std::initializer_list<std::string_view> frames,
+               std::uint64_t weight)
+    {
+        emit(frames.begin(), frames.end(), weight);
+    }
+
+    /** Emit one `a;b;c weight` line from a built-up frame path. */
+    void stack(const std::vector<std::string_view>& frames,
+               std::uint64_t weight)
+    {
+        emit(frames.data(), frames.data() + frames.size(), weight);
+    }
+
+  private:
+    void emit(const std::string_view* first, const std::string_view* last,
+              std::uint64_t weight)
+    {
+        if (weight == 0 || first == last)
+            return;
+        for (const std::string_view* it = first; it != last; ++it) {
+            if (it != first)
+                os_ << ';';
+            os_ << *it;
+        }
+        os_ << ' ' << weight << '\n';
+    }
+
+    std::ostream& os_;
+};
+
+} // namespace sdpcm
+
+#endif // SDPCM_OBS_FOLDED_HH

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "common/logging.hh"
 
@@ -37,6 +38,34 @@ RunReport::write(std::ostream& os) const
 #else
     w.kv("assertions", true);
 #endif
+    w.endObject();
+
+    // Host/build provenance (additive, schema v2 unchanged): everything
+    // here varies by machine or toolchain, so the regression gate treats
+    // host.* as informational and never fails on it (see diffReports).
+    w.key("host").beginObject();
+#if defined(__clang__)
+    w.kv("compiler_id", "clang");
+#elif defined(__GNUC__)
+    w.kv("compiler_id", "gcc");
+#else
+    w.kv("compiler_id", "unknown");
+#endif
+    w.kv("compiler_version", __VERSION__);
+#ifdef NDEBUG
+    w.kv("build_type", "release");
+#else
+    w.kv("build_type", "debug");
+#endif
+#ifdef SDPCM_WERROR_BUILD
+    w.kv("werror", true);
+#else
+    w.kv("werror", false);
+#endif
+    w.kv("hardware_concurrency",
+         static_cast<std::uint64_t>(
+             std::thread::hardware_concurrency()));
+    w.kv("profiler", config.profile);
     w.endObject();
 
     w.key("config").beginObject();
@@ -100,6 +129,27 @@ stringAt(const JsonValue& obj, const std::string& key)
     return v.str;
 }
 
+/** Stringify a scalar host.* value; containers are rejected. */
+std::string
+scalarToString(const std::string& key, const JsonValue& v)
+{
+    switch (v.type) {
+      case JsonValue::Type::String:
+        return v.str;
+      case JsonValue::Type::Bool:
+        return v.boolean ? "true" : "false";
+      case JsonValue::Type::Number: {
+        std::ostringstream os;
+        os.precision(17);
+        os << v.number;
+        return os.str();
+      }
+      default:
+        throw std::runtime_error("host field '" + key +
+                                 "' is not a scalar");
+    }
+}
+
 } // namespace
 
 ParsedReport
@@ -116,6 +166,14 @@ parseReport(std::string_view text)
     report.schemaVersion =
         static_cast<int>(numberAt(doc, "schema_version"));
     report.bench = doc.has("bench") ? stringAt(doc, "bench") : "";
+
+    // Optional: reports predating the host block parse to an empty map.
+    if (doc.has("host")) {
+        if (!doc.at("host").isObject())
+            throw std::runtime_error("report 'host' is not an object");
+        for (const auto& [name, value] : doc.at("host").object)
+            report.host.emplace(name, scalarToString(name, value));
+    }
 
     if (!doc.has("runs") || !doc.at("runs").isArray())
         throw std::runtime_error("report has no 'runs' array");
@@ -255,6 +313,23 @@ diffReports(const ParsedReport& baseline, const ParsedReport& current,
             "note: schema version mismatch tolerated (--allow-missing): "
             "baseline v" + std::to_string(baseline.schemaVersion) +
             ", current v" + std::to_string(current.schemaVersion));
+    }
+
+    // host.* is machine/toolchain provenance: differences are surfaced
+    // so a surprising delta table can be explained (different compiler,
+    // debug vs release), but they never gate.
+    for (const auto& [key, base_value] : baseline.host) {
+        const auto cur = current.host.find(key);
+        if (cur == current.host.end()) {
+            result.notes.push_back("note: host." + key +
+                                   " absent from current report "
+                                   "(informational; host.* never gates)");
+        } else if (cur->second != base_value) {
+            result.notes.push_back(
+                "note: host." + key + " differs: baseline '" +
+                base_value + "', current '" + cur->second +
+                "' (informational; host.* never gates)");
+        }
     }
 
     for (const auto& [run_key, base_stats] : baseline.runs) {

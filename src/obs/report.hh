@@ -78,6 +78,12 @@ struct ParsedReport
     std::string bench;
     /** "scheme/workload" -> metric name -> value, both in sorted order. */
     std::map<std::string, std::map<std::string, double>> runs;
+    /**
+     * The host/build provenance block, values stringified. Machine- and
+     * toolchain-varying by design: diffReports surfaces host.*
+     * differences as informational notes, never regressions.
+     */
+    std::map<std::string, std::string> host;
 };
 
 /** Parse report JSON; throws std::runtime_error on malformed input. */

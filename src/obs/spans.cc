@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/folded.hh"
 #include "obs/json.hh"
 
 namespace sdpcm {
@@ -218,20 +219,19 @@ void
 writeFoldedStacks(std::ostream& os, const std::string& scheme,
                   const SpanSummary& summary)
 {
+    FoldedWriter folded(os);
     const auto fold = [&](const char* kind,
                           const std::array<SpanPhaseAgg,
                                            kNumSpanPhases>& aggs) {
         for (unsigned p = 0; p < kNumSpanPhases; ++p) {
             const char* phase =
                 spanPhaseName(static_cast<SpanPhase>(p));
-            if (aggs[p].criticalCycles > 0) {
-                os << scheme << ';' << kind << ';' << phase << ' '
-                   << aggs[p].criticalCycles << '\n';
-            }
-            if (aggs[p].hiddenCycles > 0) {
-                os << scheme << ';' << kind << ";QueueWait;" << phase
-                   << ' ' << aggs[p].hiddenCycles << '\n';
-            }
+            // Critical-path time is a leaf stack; hidden (overlapped)
+            // time hangs under QueueWait, where it was absorbed. The
+            // writer drops zero weights, preserving the output contract.
+            folded.stack({scheme, kind, phase}, aggs[p].criticalCycles);
+            folded.stack({scheme, kind, "QueueWait", phase},
+                         aggs[p].hiddenCycles);
         }
     };
     fold("write", summary.write);

@@ -274,6 +274,7 @@ TelemetrySampler::unobservedActivity() const
 void
 TelemetrySampler::takeFrame(Tick now)
 {
+    PROF_SCOPE(prof_, TelemetryPoll);
     FrameData fd;
     fd.tick = now;
     fd.seq = summary_.frames;

@@ -202,6 +202,13 @@ class TelemetrySampler
      */
     void setWatchdog(std::unique_ptr<Watchdog> watchdog);
 
+    /**
+     * Attach the host-time profiler (null detaches): every frame poll
+     * bills to TelemetryPoll, so the sampler's own cost shows up in the
+     * blame table it rides along with.
+     */
+    void setProfiler(HostProfiler* prof) { prof_ = prof; }
+
     /** Install the tick hook and emit the meta line; call once. */
     void start();
 
@@ -250,6 +257,7 @@ class TelemetrySampler
      *  silently to JSONL/trace, with a per-rule summary at finalize). */
     std::set<std::string> warnedRules_;
     TelemetrySummary summary_;
+    HostProfiler* prof_ = nullptr;
     Tick lastFrameTick_ = 0;
     std::size_t hookId_ = 0;
     bool started_ = false;

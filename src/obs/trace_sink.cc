@@ -91,6 +91,7 @@ void
 ChromeTraceSink::begin(unsigned tid, const char* name, const char* cat,
                        Tick ts, std::initializer_list<TraceArg> args)
 {
+    PROF_SCOPE(prof_, TraceWrite);
     openEvent("B", ts);
     *os_ << ",\"tid\":" << tid << ",\"name\":";
     writeString(*os_, name);
@@ -104,6 +105,7 @@ void
 ChromeTraceSink::end(unsigned tid, Tick ts,
                      std::initializer_list<TraceArg> args)
 {
+    PROF_SCOPE(prof_, TraceWrite);
     openEvent("E", ts);
     *os_ << ",\"tid\":" << tid;
     writeArgs(args);
@@ -114,6 +116,7 @@ void
 ChromeTraceSink::instant(unsigned tid, const char* name, const char* cat,
                          Tick ts, std::initializer_list<TraceArg> args)
 {
+    PROF_SCOPE(prof_, TraceWrite);
     openEvent("i", ts);
     *os_ << ",\"tid\":" << tid << ",\"s\":\"t\",\"name\":";
     writeString(*os_, name);
@@ -127,6 +130,7 @@ void
 ChromeTraceSink::counter(const char* name, Tick ts,
                          std::initializer_list<TraceArg> series)
 {
+    PROF_SCOPE(prof_, TraceWrite);
     openEvent("C", ts);
     *os_ << ",\"tid\":0,\"name\":";
     writeString(*os_, name);

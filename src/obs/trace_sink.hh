@@ -28,6 +28,7 @@
 #include <ostream>
 #include <string>
 
+#include "obs/profiler.hh"
 #include "pcm/timing.hh"
 
 namespace sdpcm {
@@ -93,6 +94,10 @@ class ChromeTraceSink final : public TraceSink
                  std::initializer_list<TraceArg> series) override;
     void flush() override;
 
+    /** Attach the host-time profiler (null detaches): event
+     *  serialisation bills to the TraceWrite phase. */
+    void setProfiler(HostProfiler* prof) { prof_ = prof; }
+
     /** Write the closing bracket; further events are rejected. */
     void close();
 
@@ -103,6 +108,7 @@ class ChromeTraceSink final : public TraceSink
 
     std::ofstream owned_;
     std::ostream* os_;
+    HostProfiler* prof_ = nullptr;
     bool first_ = true;
     bool closed_ = false;
 };

@@ -141,6 +141,7 @@ PcmDevice::isHardCell(const LineState& ls, unsigned pos) const
 LineData
 PcmDevice::readLine(const LineAddr& addr)
 {
+    PROF_SCOPE(prof_, DeviceRead);
     stats_.lineReads += 1;
     return peekLine(addr);
 }
@@ -440,12 +441,15 @@ PcmDevice::applyNextRound(WritePlan& plan, RoundOutcome& outcome)
     unsigned programmed = 0;
     resetScratch_.clear();
     std::vector<unsigned>& reset_cells = resetScratch_;
-    forEachSetBit(round.mask, [&](unsigned pos) {
-        ls.physical.setBit(pos, !is_reset);
-        ++programmed;
-        if (is_reset)
-            reset_cells.push_back(pos);
-    });
+    {
+        PROF_SCOPE(prof_, DevicePulse);
+        forEachSetBit(round.mask, [&](unsigned pos) {
+            ls.physical.setBit(pos, !is_reset);
+            ++programmed;
+            if (is_reset)
+                reset_cells.push_back(pos);
+        });
+    }
 
     stats_.dataCellWrites += programmed;
     if (plan.isCorrection)
@@ -460,8 +464,11 @@ PcmDevice::applyNextRound(WritePlan& plan, RoundOutcome& outcome)
 
     // Only RESET pulses disseminate enough heat to disturb (SET current is
     // about half, i.e. ~4x lower temperature rise; Section 2.2.1).
-    for (const unsigned pos : reset_cells)
-        injectDisturbance(plan.addr, pos, plan, outcome);
+    {
+        PROF_SCOPE(prof_, DeviceWdScan);
+        for (const unsigned pos : reset_cells)
+            injectDisturbance(plan.addr, pos, plan, outcome);
+    }
     return true;
 }
 

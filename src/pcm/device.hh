@@ -26,6 +26,7 @@
 
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "obs/profiler.hh"
 #include "encoding/diffwrite.hh"
 #include "encoding/din.hh"
 #include "encoding/fnw.hh"
@@ -171,6 +172,14 @@ class PcmDevice
      * and cell sequences are identical with and without one attached.
      */
     void setLedger(WdLedger* ledger) { ledger_ = ledger; }
+
+    /**
+     * Attach the host-time profiler (obs/profiler.hh). Null when off;
+     * attached it times the device's three measured hot loops — the
+     * RESET/SET pulse loop, the neighbour-WD probe loop and line
+     * readout — without touching the RNG or cell state.
+     */
+    void setProfiler(HostProfiler* prof) { prof_ = prof; }
 
     /**
      * Running maximum of per-line programmed-cell counts (wear-skew
@@ -396,6 +405,7 @@ class PcmDevice
     double hardErrorMean_;
     FaultInjector* inject_ = nullptr;
     WdLedger* ledger_ = nullptr;
+    HostProfiler* prof_ = nullptr;
 
     /** Peak LineCounters::cellWrites across lines (wear-skew gauge). */
     std::uint32_t maxLineCellWrites_ = 0;

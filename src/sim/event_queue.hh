@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/profiler.hh"
 #include "pcm/timing.hh"
 
 namespace sdpcm {
@@ -100,9 +101,22 @@ class EventQueue
             recomputeNextHookTick();
         }
         processed_ += 1;
-        ev.cb();
+        {
+            // Every callback body is charged to EventDispatch; the
+            // instrumented subsystems below it (controller stages,
+            // device scans, samplers) open their own child scopes.
+            PROF_SCOPE(prof_, EventDispatch);
+            ev.cb();
+        }
         return true;
     }
+
+    /**
+     * Attach the host-time profiler (null detaches). Same discipline as
+     * the other observers: off means one null check per event and
+     * strictly observe-only either way (obs/profiler.hh).
+     */
+    void setProfiler(HostProfiler* prof) { prof_ = prof; }
 
     /** Run until the queue drains or `max_ticks` is reached. */
     void
@@ -151,6 +165,7 @@ class EventQueue
     std::uint64_t processed_ = 0;
     Tick nextHookTick_ = ~Tick(0);
     std::vector<Hook> hooks_;
+    HostProfiler* prof_ = nullptr;
 };
 
 } // namespace sdpcm

@@ -45,6 +45,8 @@ runOne(const SchemeConfig& scheme, const WorkloadSpec& workload,
     sc.spans = cfg.spans;
     sc.telemetry = cfg.telemetry;
     sc.wdLedger = cfg.wdLedger;
+    sc.profile = cfg.profile;
+    sc.profileSample = cfg.profileSample;
     sc.enduranceCellWrites = cfg.enduranceCellWrites;
     sc.verifyOracle = cfg.verifyOracle;
     sc.faults = cfg.faults;

@@ -57,6 +57,12 @@ struct RunnerConfig
     TelemetryConfig telemetry;
     /** Disturbance-provenance ledger (RunMetrics::wd). */
     bool wdLedger = false;
+    /** Host-time self-profiler (RunMetrics::prof). Each matrix cell
+     *  carries its own per-thread profile; merge the summaries in
+     *  matrix order for a deterministic whole-matrix blame tree. */
+    bool profile = false;
+    /** Profiler sampling period (SystemConfig::profileSample). */
+    std::uint32_t profileSample = 64;
     /** Per-cell endurance budget for wear.projectedLifetimeTicks. */
     double enduranceCellWrites = 1e8;
 

@@ -257,6 +257,23 @@ System::System(const SystemConfig& config, const WorkloadSpec& workload)
         }
     }
 
+    // Last: every observer above is already wired, so one attach pass
+    // covers all instrumented components. The profiler only reads the
+    // host clock — it cannot perturb RNG streams or simulated state.
+    if (config_.profile) {
+        profiler_ = std::make_unique<HostProfiler>(
+            &HostProfiler::steadyNs, config_.profileSample);
+        events_.setProfiler(profiler_.get());
+        device_->setProfiler(profiler_.get());
+        ctrl_->setProfiler(profiler_.get());
+        if (traceSink_)
+            traceSink_->setProfiler(profiler_.get());
+        if (epochSampler_)
+            epochSampler_->setProfiler(profiler_.get());
+        if (telemetrySampler_)
+            telemetrySampler_->setProfiler(profiler_.get());
+    }
+
     for (unsigned c = 0; c < config_.cores; ++c) {
         mmus_.push_back(std::make_unique<Mmu>(
             *allocator_, config_.scheme.defaultTag,
@@ -437,6 +454,7 @@ RunMetrics::toSnapshot() const
 
     addSpanMetrics(s, spans);
     addWdLedgerMetrics(s, wd);
+    addProfMetrics(s, prof);
 
     if (!lines.empty()) {
         // Wear distribution over the touched lines: inequality metrics
@@ -514,6 +532,13 @@ RunMetrics
 System::metrics() const
 {
     RunMetrics m;
+    // Manual enter/exit rather than PROF_SCOPE: the frame must close
+    // before summarize() below (which requires no open scopes), and the
+    // body has no early returns to leak past the exit(). Force-timed:
+    // a once-per-run scope would otherwise be dropped or wildly scaled
+    // by the sampling period.
+    if (profiler_)
+        profiler_->enter(ProfPhase::ReportWrite, /*force_timed=*/true);
     m.workload = workload_.name;
     m.scheme = config_.scheme.name;
     double sum = 0.0;
@@ -577,6 +602,10 @@ System::metrics() const
                          ") diverged from the run report (",
                          snap.get(name), ")");
         }
+    }
+    if (profiler_) {
+        profiler_->exit();
+        m.prof = profiler_->summarize();
     }
     return m;
 }

@@ -16,6 +16,7 @@
 #include "cpu/core.hh"
 #include "obs/epoch_sampler.hh"
 #include "obs/ledger.hh"
+#include "obs/profiler.hh"
 #include "obs/telemetry.hh"
 #include "obs/trace_sink.hh"
 #include "os/buddy.hh"
@@ -73,6 +74,16 @@ struct SystemConfig
     TelemetryConfig telemetry;
     /** Disturbance-provenance ledger (obs/ledger.hh). */
     bool wdLedger = false;
+    /** Host-time self-profiler (obs/profiler.hh): hierarchical
+     *  wall-clock blame for the simulator's own hot paths. Observe-only
+     *  by construction — it never touches RNG or simulated state. */
+    bool profile = false;
+    /** Profiler sampling period (power of two): one root scope tree in
+     *  `profileSample` is timed in full, the rest only counted, with
+     *  measurements scaled back to full-run estimates. The default
+     *  keeps the profiler inside its <=2% overhead budget; 1 times
+     *  every scope exactly (for tiny runs and debugging). */
+    std::uint32_t profileSample = 64;
     /** Per-cell endurance budget (writes a cell survives) for the
      *  wear.projectedLifetimeTicks estimate. 1e8 is the paper's PCM
      *  endurance ballpark; purely an output-side scale factor. */
@@ -106,6 +117,8 @@ struct RunMetrics
     TelemetrySummary telemetry;
     /** WD provenance; `enabled` false unless wdLedger was on. */
     WdLedgerSummary wd;
+    /** Host-time blame tree; `enabled` false unless profile was on. */
+    ProfSummary prof;
     /** Endurance budget used for wear.projectedLifetimeTicks. */
     double enduranceCellWrites = 1e8;
 
@@ -155,6 +168,8 @@ class System
     TelemetrySampler* telemetry() { return telemetrySampler_.get(); }
     /** The provenance ledger, or null when --wd-ledger is off. */
     WdLedger* ledger() { return ledger_.get(); }
+    /** The host-time profiler, or null when --profile is off. */
+    HostProfiler* profiler() { return profiler_.get(); }
     const WdModel& wdModel() const { return wdModel_; }
     const std::vector<std::unique_ptr<TraceCore>>& cores() const
     {
@@ -179,6 +194,7 @@ class System
     std::unique_ptr<SpanRecorder> spanRecorder_;
     std::unique_ptr<WdLedger> ledger_;
     std::unique_ptr<TelemetrySampler> telemetrySampler_;
+    std::unique_ptr<HostProfiler> profiler_;
     std::unique_ptr<PageAllocatorSystem> allocator_;
     std::vector<std::unique_ptr<Mmu>> mmus_;
     std::vector<std::unique_ptr<TraceStream>> streams_;

@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "obs/json.hh"
+#include "obs/profiler.hh"
 #include "sim/system.hh"
 
 namespace sdpcm {
@@ -299,7 +300,7 @@ fuzzTickBudget(const FuzzScenario& s)
 }
 
 FuzzResult
-runScenario(const FuzzScenario& s)
+runScenario(const FuzzScenario& s, bool profile_stalls)
 {
     SystemConfig sc;
     sc.scheme = s.toScheme();
@@ -310,6 +311,7 @@ runScenario(const FuzzScenario& s)
     sc.aging.ageFraction = s.age;
     sc.verifyOracle = true;
     sc.faults = s.toFaults();
+    sc.profile = profile_stalls;
 
     System system(sc, workloadFromProfile(s.workload));
     system.run();
@@ -330,6 +332,13 @@ runScenario(const FuzzScenario& s)
         os << unfinished << " of " << s.cores
            << " cores unfinished at tick " << m.finalTick << " (budget "
            << fuzzTickBudget(s) << ")";
+        if (m.prof.enabled) {
+            // Where the host clock went while the sim livelocked — the
+            // phase spinning at the top is usually the stalled machine.
+            os << "\n";
+            printProfileTop(os, "stall " + s.scheme + "/" + s.workload,
+                            m.prof, 5);
+        }
         r.detail = os.str();
         return r;
     }

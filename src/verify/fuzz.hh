@@ -126,8 +126,16 @@ Tick fuzzTickBudget(const FuzzScenario& s);
  * Run one scenario in-process with the oracle armed. Never throws;
  * telescoping-assert failures abort the process (use the fork driver to
  * observe those as Crash).
+ *
+ * `profile_stalls` additionally arms the observe-only host-time
+ * profiler (obs/profiler.hh): on a Stall verdict the host-phase blame
+ * table is appended to `detail`, so the triage output shows where the
+ * simulator was burning wall clock when it livelocked. Leave it off for
+ * shrink probes — the blame of the minimal reproducer is what matters,
+ * and every probe would otherwise dump a table.
  */
-FuzzResult runScenario(const FuzzScenario& s);
+FuzzResult runScenario(const FuzzScenario& s,
+                       bool profile_stalls = false);
 
 /**
  * Draw the next scenario from `rng`. Dimensions are weighted toward the

@@ -1,0 +1,479 @@
+/**
+ * @file
+ * Host-time self-profiler tests (obs/profiler.hh): calling-context-tree
+ * accounting against a deterministic injected clock, re-entrant scope
+ * telescoping, merge-order invariance, off-mode null-gating, JSON
+ * parse-back, and the folded flamegraph golden.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/stats.hh"
+#include "obs/json.hh"
+#include "obs/profiler.hh"
+
+namespace sdpcm {
+namespace {
+
+// ---------------------------------------------------------------------
+// Deterministic clock. ClockFn is a plain function pointer (so the hot
+// path stays a direct call), hence the file-static counter.
+// ---------------------------------------------------------------------
+
+std::uint64_t g_fake_now = 0;
+
+std::uint64_t
+fakeClock()
+{
+    return g_fake_now;
+}
+
+void
+advance(std::uint64_t ns)
+{
+    g_fake_now += ns;
+}
+
+/** Fresh profiler on the fake clock, reset to t=0. */
+HostProfiler
+makeProfiler()
+{
+    g_fake_now = 0;
+    return HostProfiler(&fakeClock);
+}
+
+/** Structural + numeric equality over a summary subtree. */
+bool
+sameTree(const ProfSummaryNode& a, const ProfSummaryNode& b)
+{
+    if (a.phase != b.phase || a.calls != b.calls ||
+        a.inclusiveNs != b.inclusiveNs || a.exclusiveNs != b.exclusiveNs)
+        return false;
+    if (a.children.size() != b.children.size())
+        return false;
+    for (std::size_t i = 0; i < a.children.size(); ++i) {
+        if (!sameTree(a.children[i], b.children[i]))
+            return false;
+    }
+    return true;
+}
+
+/** Find a direct child by phase; nullptr when absent. */
+const ProfSummaryNode*
+childOf(const ProfSummaryNode& node, ProfPhase phase)
+{
+    for (const ProfSummaryNode& c : node.children) {
+        if (c.phase == phase)
+            return &c;
+    }
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Accounting
+// ---------------------------------------------------------------------
+
+TEST(Profiler, NestedScopesSplitExclusiveFromInclusive)
+{
+    HostProfiler prof = makeProfiler();
+
+    prof.enter(ProfPhase::EventDispatch); // t = 0
+    advance(10);
+    prof.enter(ProfPhase::WriteRound);    // t = 10
+    advance(30);
+    prof.exit();                          // WriteRound: 30 ns inclusive
+    advance(60);
+    prof.exit();                          // EventDispatch: 100 ns total
+    EXPECT_EQ(prof.depth(), 0u);
+
+    const ProfSummary s = prof.summarize();
+    ASSERT_TRUE(s.enabled);
+    EXPECT_EQ(s.totalNs(), 100u);
+
+    const ProfSummaryNode* ed =
+        childOf(s.root, ProfPhase::EventDispatch);
+    ASSERT_NE(ed, nullptr);
+    EXPECT_EQ(ed->calls, 1u);
+    EXPECT_EQ(ed->inclusiveNs, 100u);
+    EXPECT_EQ(ed->exclusiveNs, 70u); // 100 minus the child's 30
+
+    const ProfSummaryNode* wr = childOf(*ed, ProfPhase::WriteRound);
+    ASSERT_NE(wr, nullptr);
+    EXPECT_EQ(wr->calls, 1u);
+    EXPECT_EQ(wr->inclusiveNs, 30u);
+    EXPECT_EQ(wr->exclusiveNs, 30u); // leaf: inclusive == exclusive
+}
+
+TEST(Profiler, RepeatCallsAccumulateOnOneNode)
+{
+    HostProfiler prof = makeProfiler();
+    for (int i = 0; i < 3; ++i) {
+        prof.enter(ProfPhase::DeviceRead);
+        advance(7);
+        prof.exit();
+        advance(100); // gap outside any scope: charged to nobody
+    }
+
+    const ProfSummary s = prof.summarize();
+    const ProfSummaryNode* dr = childOf(s.root, ProfPhase::DeviceRead);
+    ASSERT_NE(dr, nullptr);
+    EXPECT_EQ(dr->calls, 3u);
+    EXPECT_EQ(dr->inclusiveNs, 21u);
+    EXPECT_EQ(dr->exclusiveNs, 21u);
+    EXPECT_EQ(s.totalNs(), 21u); // the 300 ns of gaps are not measured
+}
+
+TEST(Profiler, SiblingsAllDebitTheParent)
+{
+    HostProfiler prof = makeProfiler();
+    prof.enter(ProfPhase::CtrlKick); // t = 0
+    advance(5);
+    prof.enter(ProfPhase::VerifyScan);
+    advance(20);
+    prof.exit();
+    prof.enter(ProfPhase::Correction);
+    advance(40);
+    prof.exit();
+    advance(5);
+    prof.exit(); // CtrlKick: 70 ns inclusive, 70-60 = 10 ns exclusive
+
+    const ProfSummary s = prof.summarize();
+    const ProfSummaryNode* ck = childOf(s.root, ProfPhase::CtrlKick);
+    ASSERT_NE(ck, nullptr);
+    EXPECT_EQ(ck->inclusiveNs, 70u);
+    EXPECT_EQ(ck->exclusiveNs, 10u);
+    ASSERT_EQ(ck->children.size(), 2u);
+    // Children come back sorted by phase id, not by entry order.
+    EXPECT_EQ(ck->children[0].phase, ProfPhase::VerifyScan);
+    EXPECT_EQ(ck->children[1].phase, ProfPhase::Correction);
+}
+
+TEST(Profiler, ReentrantPhaseCountsInclusiveOnce)
+{
+    HostProfiler prof = makeProfiler();
+    prof.enter(ProfPhase::WriteRound); // t = 0
+    advance(10);
+    prof.enter(ProfPhase::WriteRound); // same phase, nested
+    advance(20);
+    prof.exit();                       // inner: 20 ns
+    advance(20);
+    prof.exit();                       // outer: 50 ns, 30 exclusive
+
+    const ProfSummary s = prof.summarize();
+    const auto totals = s.phaseTotals();
+    const auto& wr =
+        totals[static_cast<unsigned>(ProfPhase::WriteRound)];
+    EXPECT_EQ(wr.calls, 2u);
+    // Inclusive telescopes: only the outermost WriteRound contributes,
+    // so "time under WriteRound" is 50 ns, not 70.
+    EXPECT_EQ(wr.inclusiveNs, 50u);
+    // Exclusive is additive across both nodes: 30 + 20.
+    EXPECT_EQ(wr.exclusiveNs, 50u);
+    EXPECT_EQ(s.totalNs(), 50u);
+}
+
+TEST(Profiler, PhaseTotalsFoldDistinctPaths)
+{
+    // The same phase reached through two different parents rolls up
+    // into one flat row.
+    HostProfiler prof = makeProfiler();
+    prof.enter(ProfPhase::WriteRound);
+    prof.enter(ProfPhase::DevicePulse);
+    advance(10);
+    prof.exit();
+    prof.exit();
+    prof.enter(ProfPhase::Correction);
+    prof.enter(ProfPhase::DevicePulse);
+    advance(15);
+    prof.exit();
+    prof.exit();
+
+    const auto totals = prof.summarize().phaseTotals();
+    const auto& dp =
+        totals[static_cast<unsigned>(ProfPhase::DevicePulse)];
+    EXPECT_EQ(dp.calls, 2u);
+    EXPECT_EQ(dp.inclusiveNs, 25u);
+    EXPECT_EQ(dp.exclusiveNs, 25u);
+}
+
+// ---------------------------------------------------------------------
+// Sampling
+// ---------------------------------------------------------------------
+
+TEST(Profiler, SamplingScalesTimedTreesToFullRunEstimates)
+{
+    // Period 4: root trees #0 and #4 of 8 are timed; each timed tree
+    // stands in for 4, so the estimates land on the exact totals when
+    // the trees are identical.
+    g_fake_now = 0;
+    HostProfiler prof(&fakeClock, 4);
+    for (int i = 0; i < 8; ++i) {
+        prof.enter(ProfPhase::EventDispatch);
+        advance(10);
+        prof.exit();
+    }
+
+    const ProfSummary s = prof.summarize();
+    EXPECT_EQ(s.samplePeriod, 4u);
+    const ProfSummaryNode* ed =
+        childOf(s.root, ProfPhase::EventDispatch);
+    ASSERT_NE(ed, nullptr);
+    EXPECT_EQ(ed->calls, 8u);        // 2 timed x scale 4
+    EXPECT_EQ(ed->inclusiveNs, 80u); // 2 x 10 ns x scale 4
+    EXPECT_EQ(ed->exclusiveNs, 80u);
+}
+
+TEST(Profiler, SamplingSkipsWholeTrees)
+{
+    // Untimed trees never read the clock or touch nodes, so a path
+    // that only ever occurs in a skipped tree is absent entirely — the
+    // profile describes the sampled trees, scaled.
+    g_fake_now = 0;
+    HostProfiler prof(&fakeClock, 2);
+    prof.enter(ProfPhase::EventDispatch); // tree #0: timed
+    advance(10);
+    prof.exit();
+    prof.enter(ProfPhase::CtrlKick);      // tree #1: skipped
+    prof.enter(ProfPhase::Correction);    // nested depth tracked only
+    advance(99);
+    prof.exit();
+    prof.exit();
+    EXPECT_EQ(prof.depth(), 0u);
+
+    const ProfSummary s = prof.summarize();
+    EXPECT_NE(childOf(s.root, ProfPhase::EventDispatch), nullptr);
+    EXPECT_EQ(childOf(s.root, ProfPhase::CtrlKick), nullptr);
+    EXPECT_EQ(s.totalNs(), 20u); // 10 ns x scale 2
+}
+
+TEST(Profiler, ForcedRootScopeIsExactAndUnscaled)
+{
+    g_fake_now = 0;
+    HostProfiler prof(&fakeClock, 8);
+    // Forced trees neither consume a sampling slot nor get scaled —
+    // once-per-run scopes (ReportWrite) report their true cost.
+    prof.enter(ProfPhase::ReportWrite, /*force_timed=*/true);
+    advance(30);
+    prof.exit();
+
+    const ProfSummary s = prof.summarize();
+    const ProfSummaryNode* rw =
+        childOf(s.root, ProfPhase::ReportWrite);
+    ASSERT_NE(rw, nullptr);
+    EXPECT_EQ(rw->calls, 1u);
+    EXPECT_EQ(rw->inclusiveNs, 30u);
+}
+
+// ---------------------------------------------------------------------
+// Merging
+// ---------------------------------------------------------------------
+
+/** One cell's summary: a small deterministic workload on `prof`. */
+ProfSummary
+cellA()
+{
+    HostProfiler prof = makeProfiler();
+    prof.enter(ProfPhase::EventDispatch);
+    advance(10);
+    prof.enter(ProfPhase::WriteRound);
+    advance(30);
+    prof.exit();
+    prof.exit();
+    return prof.summarize();
+}
+
+ProfSummary
+cellB()
+{
+    HostProfiler prof = makeProfiler();
+    prof.enter(ProfPhase::EventDispatch);
+    advance(4);
+    prof.enter(ProfPhase::ReadService);
+    advance(8);
+    prof.exit();
+    prof.exit();
+    prof.enter(ProfPhase::TelemetryPoll);
+    advance(2);
+    prof.exit();
+    return prof.summarize();
+}
+
+TEST(Profiler, MergeAccumulatesByPhasePath)
+{
+    ProfSummary merged = cellA();
+    merged.merge(cellB());
+
+    const ProfSummaryNode* ed =
+        childOf(merged.root, ProfPhase::EventDispatch);
+    ASSERT_NE(ed, nullptr);
+    EXPECT_EQ(ed->calls, 2u);
+    EXPECT_EQ(ed->inclusiveNs, 40u + 12u);
+    // Both children survive under the shared EventDispatch node.
+    EXPECT_NE(childOf(*ed, ProfPhase::WriteRound), nullptr);
+    EXPECT_NE(childOf(*ed, ProfPhase::ReadService), nullptr);
+    EXPECT_NE(childOf(merged.root, ProfPhase::TelemetryPoll), nullptr);
+    EXPECT_EQ(merged.totalNs(), 40u + 14u);
+}
+
+TEST(Profiler, MergeIsOrderInvariant)
+{
+    // --jobs=N merges per-cell summaries in matrix order; the result
+    // must not depend on which cell lands first.
+    ProfSummary ab = cellA();
+    ab.merge(cellB());
+    ProfSummary ba = cellB();
+    ba.merge(cellA());
+    EXPECT_TRUE(sameTree(ab.root, ba.root));
+
+    // Children of every node stay sorted by phase id.
+    const ProfSummaryNode* ed = childOf(ba.root, ProfPhase::EventDispatch);
+    ASSERT_NE(ed, nullptr);
+    ASSERT_EQ(ed->children.size(), 2u);
+    EXPECT_LT(static_cast<unsigned>(ed->children[0].phase),
+              static_cast<unsigned>(ed->children[1].phase));
+}
+
+TEST(Profiler, MergeSkipsDisabledSummaries)
+{
+    ProfSummary off; // default: enabled = false
+    ProfSummary target;
+    target.merge(off);
+    EXPECT_FALSE(target.enabled); // profiler-off cells leave no trace
+
+    ProfSummary on = cellA();
+    target.merge(on);
+    EXPECT_TRUE(target.enabled);
+    EXPECT_TRUE(sameTree(target.root, on.root));
+}
+
+// ---------------------------------------------------------------------
+// Off mode
+// ---------------------------------------------------------------------
+
+TEST(Profiler, NullScopeIsInert)
+{
+    // The null-gated observer contract: with no profiler attached a
+    // PROF_SCOPE site must have zero side effects.
+    HostProfiler* prof = nullptr;
+    {
+        PROF_SCOPE(prof, EventDispatch);
+        {
+            PROF_SCOPE(prof, WriteRound);
+        }
+    }
+    SUCCEED();
+}
+
+TEST(Profiler, DisabledSummaryAddsNoMetrics)
+{
+    StatSnapshot snap;
+    ProfSummary off;
+    addProfMetrics(snap, off);
+    EXPECT_TRUE(snap.values().empty());
+}
+
+TEST(Profiler, EnabledSummaryAddsOnlyEnteredPhases)
+{
+    StatSnapshot snap;
+    addProfMetrics(snap, cellA());
+    EXPECT_TRUE(snap.has("prof.total_ns"));
+    EXPECT_DOUBLE_EQ(snap.get("prof.total_ns"), 40.0);
+    EXPECT_DOUBLE_EQ(snap.get("prof.EventDispatch.calls"), 1.0);
+    EXPECT_DOUBLE_EQ(snap.get("prof.EventDispatch.excl_ns"), 10.0);
+    EXPECT_DOUBLE_EQ(snap.get("prof.WriteRound.incl_ns"), 30.0);
+    // Absent-when-unused: phases the run never entered add no keys.
+    EXPECT_FALSE(snap.has("prof.OracleCheck.calls"));
+}
+
+// ---------------------------------------------------------------------
+// Serialisation
+// ---------------------------------------------------------------------
+
+TEST(Profiler, JsonRoundTripsThroughParser)
+{
+    std::ostringstream os;
+    writeProfileJson(os, "unit/label", cellA());
+
+    const JsonValue doc = parseJson(os.str());
+    EXPECT_EQ(doc.at("kind").str, "sdpcm_profile");
+    EXPECT_EQ(doc.at("schema_version").number, 1.0);
+    EXPECT_EQ(doc.at("label").str, "unit/label");
+    EXPECT_EQ(doc.at("total_ns").number, 40.0);
+
+    // Flat table: exactly the two phases the run entered.
+    const JsonValue& phases = doc.at("phases");
+    ASSERT_EQ(phases.array.size(), 2u);
+    EXPECT_EQ(phases.array[0].at("phase").str, "EventDispatch");
+    EXPECT_EQ(phases.array[0].at("calls").number, 1.0);
+    EXPECT_EQ(phases.array[0].at("inclusive_ns").number, 40.0);
+    EXPECT_EQ(phases.array[0].at("exclusive_ns").number, 10.0);
+    EXPECT_EQ(phases.array[1].at("phase").str, "WriteRound");
+
+    // Tree: Root -> EventDispatch -> WriteRound, with the same numbers
+    // the accounting test pinned.
+    const JsonValue& root = doc.at("tree");
+    EXPECT_EQ(root.at("phase").str, "Root");
+    ASSERT_EQ(root.at("children").array.size(), 1u);
+    const JsonValue& ed = root.at("children").array[0];
+    EXPECT_EQ(ed.at("phase").str, "EventDispatch");
+    EXPECT_EQ(ed.at("exclusive_ns").number, 10.0);
+    ASSERT_EQ(ed.at("children").array.size(), 1u);
+    EXPECT_EQ(ed.at("children").array[0].at("phase").str, "WriteRound");
+    EXPECT_FALSE(ed.at("children").array[0].has("children"));
+}
+
+TEST(Profiler, FoldedOutputGolden)
+{
+    std::ostringstream os;
+    writeProfileFolded(os, "cli", cellA());
+    EXPECT_EQ(os.str(),
+              "cli;EventDispatch 10\n"
+              "cli;EventDispatch;WriteRound 30\n");
+
+    // Without a label the stack starts at the phase frames.
+    std::ostringstream bare;
+    writeProfileFolded(bare, "", cellA());
+    EXPECT_EQ(bare.str(),
+              "EventDispatch 10\n"
+              "EventDispatch;WriteRound 30\n");
+}
+
+TEST(Profiler, FoldedDropsZeroWeightFrames)
+{
+    // A parent whose time is entirely inside its child has zero
+    // exclusive ns; the folded writer must drop that line while still
+    // descending into the child.
+    HostProfiler prof = makeProfiler();
+    prof.enter(ProfPhase::EventDispatch);
+    prof.enter(ProfPhase::OracleCheck);
+    advance(50);
+    prof.exit();
+    prof.exit();
+
+    std::ostringstream os;
+    writeProfileFolded(os, "", prof.summarize());
+    EXPECT_EQ(os.str(), "EventDispatch;OracleCheck 50\n");
+}
+
+TEST(Profiler, TopTableNamesHeaviestPhase)
+{
+    std::ostringstream os;
+    printProfileTop(os, "unit", cellB(), 2);
+    const std::string out = os.str();
+    // cellB: ReadService 8 ns exclusive beats EventDispatch's 4.
+    EXPECT_NE(out.find("host-phase blame [unit]"), std::string::npos);
+    const std::size_t rs = out.find("ReadService");
+    const std::size_t ed = out.find("EventDispatch");
+    ASSERT_NE(rs, std::string::npos);
+    ASSERT_NE(ed, std::string::npos);
+    EXPECT_LT(rs, ed);
+    // top_n=2 cuts the 2 ns TelemetryPoll row.
+    EXPECT_EQ(out.find("TelemetryPoll"), std::string::npos);
+}
+
+} // namespace
+} // namespace sdpcm

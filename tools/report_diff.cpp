@@ -19,7 +19,10 @@
  * Exit codes: 0 = no regression, 1 = regression (or missing baseline
  * data), 2 = usage/parse error. Metrics or runs only present in CURRENT
  * are reported but never fail the gate (additive schema rule —
- * see obs/report.hh).
+ * see obs/report.hh). The host.* provenance block (compiler, build
+ * type, core count, profiler on/off) is ignored by default: differences
+ * print as informational notes so a surprising delta table can be
+ * explained, but host.* never gates.
  *
  * --json[=FILE] emits the full machine-readable verdict (every changed
  * metric with old/new/delta/threshold/verdict, the structural notes and

@@ -58,21 +58,34 @@ constexpr int kExitClean = 0;
 constexpr int kExitOracleMismatch = 10;
 constexpr int kExitStall = 11;
 
-/** Run the scenario in a forked child; classify however it dies. */
+/**
+ * Run the scenario in a forked child; classify however it dies.
+ * `profile_stalls` arms the observe-only host profiler in the child:
+ * a stalled child prints its host-phase blame table to the shared
+ * stderr before exiting, so the triage output shows where the wall
+ * clock went. Off for shrink probes (every stalling probe would dump
+ * a table).
+ */
 FuzzResult
-runIsolated(const FuzzScenario& s)
+runIsolated(const FuzzScenario& s, bool profile_stalls = false)
 {
     const pid_t pid = fork();
     if (pid < 0) {
         // Out of processes: degrade to in-process (a crash then kills
         // the campaign, which still fails loudly).
         SDPCM_WARN("fork failed; running scenario in-process");
-        return runScenario(s);
+        return runScenario(s, profile_stalls);
     }
     if (pid == 0) {
         // Child: quiet logs (the parent prints triage), run, encode.
+        // The exit-code protocol cannot carry the blame table, so a
+        // stalled child prints it itself (stderr is the parent's).
         setLogLevel(LogLevel::Error);
-        const FuzzResult r = runScenario(s);
+        const FuzzResult r = runScenario(s, profile_stalls);
+        if (r.outcome == FuzzOutcome::Stall && profile_stalls &&
+            !r.detail.empty()) {
+            std::cerr << "stall triage: " << r.detail << "\n";
+        }
         switch (r.outcome) {
           case FuzzOutcome::Clean:
             _exit(kExitClean);
@@ -111,7 +124,10 @@ runIsolated(const FuzzScenario& s)
         break;
       case kExitStall:
         r.outcome = FuzzOutcome::Stall;
-        r.detail = "tick budget expired with unfinished cores";
+        r.detail = profile_stalls
+            ? "tick budget expired with unfinished cores (host-phase "
+              "blame above, printed by the child)"
+            : "tick budget expired with unfinished cores";
         break;
       default:
         // SDPCM_FATAL exits 1; anything unexpected is a crash too.
@@ -145,7 +161,9 @@ replayOne(const std::string& path, bool in_process)
         std::cerr << "sdpcm_fuzz: " << e.what() << "\n";
         return 2;
     }
-    const FuzzResult r = in_process ? runScenario(s) : runIsolated(s);
+    const FuzzResult r = in_process
+        ? runScenario(s, /*profile_stalls=*/true)
+        : runIsolated(s, /*profile_stalls=*/true);
     std::cout << path << ": " << outcomeName(r.outcome);
     if (!r.detail.empty())
         std::cout << " — " << r.detail;
@@ -252,7 +270,7 @@ main(int argc, char** argv)
         // Drawn before the fork so the stream is identical whether or
         // not earlier trials failed.
         const FuzzScenario s = randomScenario(rng);
-        const FuzzResult r = runIsolated(s);
+        const FuzzResult r = runIsolated(s, /*profile_stalls=*/true);
         executed += 1;
         by_outcome[static_cast<int>(r.outcome)] += 1;
         if (r.outcome == FuzzOutcome::Clean) {
