@@ -72,6 +72,7 @@
 #include "common/args.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/profiler.hh"
 #include "obs/report.hh"
 #include "sim/parallel.hh"
 #include "sim/runner.hh"
@@ -106,8 +107,13 @@ configFromArgs(const ArgParser& args, std::int64_t default_refs = 10000)
     cfg.wdLedger = args.has("wd-ledger") || args.has("wd-top");
     cfg.profile = args.has("profile") || args.has("profile-top") ||
                   args.has("profile-folded");
-    cfg.profileSample = static_cast<std::uint32_t>(args.getInt(
-        "profile-sample", static_cast<std::int64_t>(cfg.profileSample)));
+    const std::int64_t prof_sample = args.getInt(
+        "profile-sample", static_cast<std::int64_t>(cfg.profileSample));
+    if (!validProfileSamplePeriod(prof_sample)) {
+        SDPCM_FATAL("--profile-sample must be a power of two >= 1, got ",
+                    prof_sample);
+    }
+    cfg.profileSample = static_cast<std::uint32_t>(prof_sample);
     cfg.enduranceCellWrites = args.getDouble("endurance", 1e8);
     // The shared maybeWrite* helpers read these after the run; declare
     // them now so finishParsing() before the run accepts them.

@@ -161,12 +161,18 @@ main(int argc, char** argv)
               << " workloads\n\n";
 
     // The harness owns the observability knobs: the first two passes
-    // are the everything-off reference pair regardless of --spans or
-    // --telemetry-* flags.
+    // are the everything-off reference pair regardless of --spans,
+    // --telemetry-*, --wd-ledger, or --profile flags. --profile in
+    // particular must not leak in here: it would put nondeterministic
+    // host-clock prof.* metrics into the reference snapshots, failing
+    // every identical/subset gate, and turn the prof_overhead figure
+    // into a profiler-on vs profiler-on no-op.
     RunnerConfig serial_cfg = cfg;
     serial_cfg.jobs = 1;
     serial_cfg.spans = false;
     serial_cfg.telemetry = TelemetryConfig{};
+    serial_cfg.wdLedger = false;
+    serial_cfg.profile = false;
     std::vector<SchemeResults> serial_results;
     const double serial_s =
         timedMatrix(schemes, workloads, serial_cfg, serial_results);
@@ -175,6 +181,8 @@ main(int argc, char** argv)
     parallel_cfg.jobs = jobs;
     parallel_cfg.spans = false;
     parallel_cfg.telemetry = TelemetryConfig{};
+    parallel_cfg.wdLedger = false;
+    parallel_cfg.profile = false;
     std::vector<SchemeResults> parallel_results;
     const double parallel_s =
         timedMatrix(schemes, workloads, parallel_cfg, parallel_results);
@@ -348,10 +356,12 @@ main(int argc, char** argv)
     // The ledger-pass results are the reference copy: every shared
     // metric bit-matches the everything-off serial run (`ledger_clean`)
     // while the wd.* / wear.* families ride along, so the regression
-    // gate sees the widest schema. Wall-clock figures go into the
-    // gate-ignored environment section.
+    // gate sees the widest schema. ledger_cfg (not the raw cfg) is the
+    // config that produced those runs, so the report's host.profiler
+    // provenance stays truthful even when --profile was passed.
+    // Wall-clock figures go into the gate-ignored environment section.
     maybeWriteReport(args, "REPORT_wallclock.json", "bench_wallclock",
-                     cfg, ledger_results,
+                     ledger_cfg, ledger_results,
                      {{"serial_seconds", serial_s},
                       {"parallel_seconds", parallel_s},
                       {"spans_serial_seconds", spans_s},

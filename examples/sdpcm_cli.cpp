@@ -22,6 +22,7 @@
 #include "common/args.hh"
 #include "common/table.hh"
 #include "obs/heatmap.hh"
+#include "obs/profiler.hh"
 #include "obs/report.hh"
 #include "sim/parallel.hh"
 #include "sim/runner.hh"
@@ -270,8 +271,13 @@ main(int argc, char** argv)
         static_cast<unsigned>(args.getInt("profile-top", 0));
     cfg.profile = args.has("profile") || !profile_folded.empty() ||
                   profile_top > 0;
-    cfg.profileSample = static_cast<std::uint32_t>(args.getInt(
-        "profile-sample", static_cast<std::int64_t>(cfg.profileSample)));
+    const std::int64_t prof_sample = args.getInt(
+        "profile-sample", static_cast<std::int64_t>(cfg.profileSample));
+    if (!validProfileSamplePeriod(prof_sample)) {
+        SDPCM_FATAL("--profile-sample must be a power of two >= 1, got ",
+                    prof_sample);
+    }
+    cfg.profileSample = static_cast<std::uint32_t>(prof_sample);
     cfg.verifyOracle = args.getBool("verify-oracle", false);
     cfg.telemetry = telemetryFromArgs(args);
     // Same bare-flag idiom as --spans: --wd-ledger stores "1" (enable,

@@ -84,6 +84,18 @@ constexpr unsigned kNumProfPhases = 16;
 
 const char* profPhaseName(ProfPhase phase);
 
+/**
+ * True iff `v` is a usable sampling period: a power of two >= 1 that
+ * fits SystemConfig::profileSample's uint32. CLIs validate
+ * --profile-sample with this at parse time so a bad value is a usage
+ * error, not an assertion failure inside the HostProfiler constructor.
+ */
+constexpr bool
+validProfileSamplePeriod(std::int64_t v)
+{
+    return v >= 1 && v <= (std::int64_t{1} << 31) && (v & (v - 1)) == 0;
+}
+
 /** Per-phase rollup across the whole tree (see ProfSummary::phases). */
 struct ProfPhaseAgg
 {

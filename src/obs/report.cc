@@ -332,6 +332,16 @@ diffReports(const ParsedReport& baseline, const ParsedReport& current,
         }
     }
 
+    // prof.* is the host-time self-profiler's family: host-clock
+    // measurements that vary run to run by nature. Golden reports are
+    // supposed to be recorded profiler-off, but if a baseline was made
+    // with --profile anyway, gating on prof.* would fail every diff on
+    // timing noise — so like host.*, the family is surfaced as notes
+    // and never gates.
+    const auto prof_metric = [](const std::string& metric) {
+        return metric.rfind("prof.", 0) == 0;
+    };
+
     for (const auto& [run_key, base_stats] : baseline.runs) {
         const auto cur_it = current.runs.find(run_key);
         if (cur_it == current.runs.end()) {
@@ -353,6 +363,19 @@ diffReports(const ParsedReport& baseline, const ParsedReport& current,
         for (const auto& [metric, base_value] : base_stats) {
             const auto cur_metric = cur_stats.find(metric);
             const std::string key = run_key + "/" + metric;
+            if (prof_metric(metric)) {
+                if (cur_metric == cur_stats.end()) {
+                    result.notes.push_back(
+                        "note: metric '" + key +
+                        "' absent from current report (informational; "
+                        "prof.* never gates)");
+                } else if (cur_metric->second != base_value) {
+                    result.notes.push_back(
+                        "note: metric '" + key +
+                        "' differs (informational; prof.* never gates)");
+                }
+                continue;
+            }
             if (cur_metric == cur_stats.end()) {
                 if (!allow_missing) {
                     result.ok = false;

@@ -155,7 +155,10 @@ struct DiffResult
  * schema version mismatch, a baseline run or metric missing from
  * current, or a relative delta above the metric's threshold. Metrics and
  * runs only present in `current` are additions — noted, never failures
- * (the additive-schema rule above).
+ * (the additive-schema rule above). Two families never gate regardless
+ * of thresholds, because they are machine/host-clock data, not simulator
+ * output: host.* (provenance block) and prof.* (self-profiler host
+ * times) — differences in either are surfaced as informational notes.
  *
  * `allow_missing` downgrades the structural failures (schema version
  * mismatch, missing runs/metrics) to notes; present-in-both metrics are

@@ -263,6 +263,42 @@ TEST(ReportDiff, AllowMissingDowngradesHardFailuresToNotes)
         diffReports(base, bumped_bad, ThresholdSet{}, true).ok);
 }
 
+TEST(ReportDiff, ProfMetricsNeverGate)
+{
+    // A baseline recorded with --profile carries host-clock prof.*
+    // values that can never reproduce; they must surface as notes, not
+    // regressions, even under the exact-match default thresholds.
+    ParsedReport base = parseReport(toText(quickReport()));
+    base.runs.begin()->second["prof.total_ns"] = 123456.0;
+    base.runs.begin()->second["prof.DevicePulse.excl_ns"] = 1000.0;
+
+    // Differing host time: informational only.
+    ParsedReport jittered = base;
+    jittered.runs.begin()->second["prof.total_ns"] = 654321.0;
+    const DiffResult moved = diffReports(base, jittered, ThresholdSet{});
+    EXPECT_TRUE(moved.ok);
+    EXPECT_TRUE(moved.deltas.empty());
+    ASSERT_EQ(moved.notes.size(), 1u);
+    EXPECT_NE(moved.notes[0].find("prof.* never gates"),
+              std::string::npos);
+
+    // prof.* absent from current (a profiler-off rerun): also only a
+    // note, with no --allow-missing needed.
+    ParsedReport prof_off = base;
+    prof_off.runs.begin()->second.erase("prof.total_ns");
+    prof_off.runs.begin()->second.erase("prof.DevicePulse.excl_ns");
+    const DiffResult off = diffReports(base, prof_off, ThresholdSet{});
+    EXPECT_TRUE(off.ok);
+    ASSERT_EQ(off.notes.size(), 2u);
+    EXPECT_NE(off.notes[0].find("prof.* never gates"),
+              std::string::npos);
+
+    // Simulator metrics in the same reports still gate exactly.
+    ParsedReport sim_bad = jittered;
+    sim_bad.runs.begin()->second["ctrl.writesCompleted"] += 1.0;
+    EXPECT_FALSE(diffReports(base, sim_bad, ThresholdSet{}).ok);
+}
+
 // ---------------------------------------------------------------------
 // Per-line counters and heatmaps
 // ---------------------------------------------------------------------
